@@ -1,0 +1,495 @@
+// Package astrasim is a Go implementation of ASTRA-SIM (Rashidi et al.,
+// ISPASS 2020): an end-to-end, event-driven simulator for distributed deep
+// learning training over hierarchical scale-up fabrics.
+//
+// The simulator stacks three layers. The workload layer runs a
+// layer-by-layer DNN training loop (data, model, or hybrid parallelism)
+// and issues collective communications. The system layer executes
+// topology-aware collectives (reduce-scatter, all-gather, all-reduce,
+// all-to-all) over hierarchical torus or alltoall logical topologies,
+// pipelining each collective's chunks through per-phase logical scheduling
+// queues. The network layer simulates the physical fabric at packet
+// granularity: link bandwidth and latency, flit-level efficiency, router
+// hops, buffering and backpressure.
+//
+// Quick start:
+//
+//	p, _ := astrasim.NewTorusPlatform(4, 4, 4)
+//	res, _ := p.RunCollective(astrasim.AllReduce, 64<<20)
+//	fmt.Println(res.Duration(), "cycles")
+//
+// End-to-end training:
+//
+//	p, _ := astrasim.NewTorusPlatform(2, 4, 4)
+//	res, _ := p.Train(astrasim.ResNet50(32), 2)
+//	fmt.Println(res.ExposedRatio())
+package astrasim
+
+import (
+	"fmt"
+	"io"
+
+	"astrasim/internal/collectives"
+	"astrasim/internal/compute"
+	"astrasim/internal/config"
+	"astrasim/internal/energy"
+	"astrasim/internal/models"
+	"astrasim/internal/system"
+	"astrasim/internal/topology"
+	"astrasim/internal/workload"
+)
+
+// Op is a collective communication operation.
+type Op = collectives.Op
+
+// Collective operations (paper Fig. 4).
+const (
+	ReduceScatter = collectives.ReduceScatter
+	AllGather     = collectives.AllGather
+	AllReduce     = collectives.AllReduce
+	AllToAll      = collectives.AllToAll
+)
+
+// Algorithm selects the hierarchical collective algorithm.
+type Algorithm = config.Algorithm
+
+// Collective algorithms (Table III parameter #3).
+const (
+	Baseline = config.Baseline
+	Enhanced = config.Enhanced
+)
+
+// SchedulingPolicy orders the ready queue.
+type SchedulingPolicy = config.SchedulingPolicy
+
+// Ready-queue scheduling policies (Table III parameter #7, plus the
+// explicit-priority extension of §III-E).
+const (
+	LIFO     = config.LIFO
+	FIFO     = config.FIFO
+	Priority = config.Priority
+)
+
+// NetworkConfig holds the Garnet-level fabric parameters (Table III
+// #17-28); DefaultNetworkConfig returns the Table IV values.
+type NetworkConfig = config.Network
+
+// DefaultNetworkConfig returns the paper's Table IV network parameters.
+func DefaultNetworkConfig() NetworkConfig { return config.DefaultNetwork() }
+
+// Definition is a DNN workload description (the Fig. 8 input file).
+type Definition = workload.Definition
+
+// Layer is one layer of a workload definition.
+type Layer = workload.Layer
+
+// Scope restricts a layer's collective to specific topology dimensions
+// ("vertical", "local+horizontal"); empty means global. Hybrid
+// parallelism uses scopes to exchange activations within the
+// model-parallel dimension only.
+type Scope = workload.Scope
+
+// TrainingResult is the outcome of a training simulation.
+type TrainingResult = workload.Result
+
+// LayerStats is one layer's accumulated cost in a TrainingResult.
+type LayerStats = workload.LayerStats
+
+// CollectiveResult tracks one completed collective, including its
+// end-to-end duration and per-phase queue/network delay breakdown.
+type CollectiveResult = system.Handle
+
+// ComputeModel is the analytical systolic-array accelerator model used to
+// derive per-layer compute delays.
+type ComputeModel = compute.Model
+
+// DefaultComputeModel returns the 256x256 TPU-like array of the paper.
+func DefaultComputeModel() ComputeModel { return compute.Default() }
+
+// Parallelism is the training partitioning strategy.
+type Parallelism = workload.Parallelism
+
+// Parallelization strategies (paper §III-A, Table I).
+const (
+	DataParallel   = workload.DataParallel
+	ModelParallel  = workload.ModelParallel
+	HybridParallel = workload.HybridParallel
+)
+
+// Platform is a configured simulation target: a logical topology, its
+// physical links, and the system/network parameters. Each Run*/Train call
+// simulates on a fresh instance, so a Platform is reusable and stateless
+// across runs.
+type Platform struct {
+	topo topology.Topology
+	sys  config.System
+	net  config.Network
+	// stragglers maps NPU -> endpoint slowdown factor, applied to every
+	// simulation instance this platform creates.
+	stragglers map[NodeID]float64
+}
+
+// instance builds a fresh wired simulation with the platform's fault
+// injections applied.
+func (p *Platform) instance() (*system.Instance, error) {
+	inst, err := system.NewInstance(p.topo, p.sys, p.net)
+	if err != nil {
+		return nil, err
+	}
+	for node, factor := range p.stragglers {
+		inst.Sys.SetNodeStragglerFactor(node, factor)
+	}
+	return inst, nil
+}
+
+// SetStraggler marks one NPU as a straggler whose endpoint (NMU)
+// processing is factor times slower in every subsequent run — the
+// fault-injection hook for resilience studies. Factor 1 clears it.
+func (p *Platform) SetStraggler(node NodeID, factor float64) {
+	if p.stragglers == nil {
+		p.stragglers = make(map[NodeID]float64)
+	}
+	p.stragglers[node] = factor
+}
+
+// Option customizes a Platform.
+type Option func(*platformOpts)
+
+type platformOpts struct {
+	sys config.System
+	net config.Network
+	// ring/switch multiplicities
+	localRings, horizontalRings, verticalRings, switches, localSwitches int
+}
+
+// WithAlgorithm selects baseline or enhanced hierarchical collectives.
+func WithAlgorithm(a Algorithm) Option {
+	return func(o *platformOpts) { o.sys.Algorithm = a }
+}
+
+// WithSchedulingPolicy selects LIFO or FIFO ready-queue order.
+func WithSchedulingPolicy(p SchedulingPolicy) Option {
+	return func(o *platformOpts) { o.sys.SchedulingPolicy = p }
+}
+
+// WithSetSplits sets the preferred number of chunks per collective set.
+func WithSetSplits(n int) Option {
+	return func(o *platformOpts) { o.sys.PreferredSetSplits = n }
+}
+
+// WithEndpointDelay sets the NMU per-message receive delay in cycles.
+func WithEndpointDelay(cycles uint64) Option {
+	return func(o *platformOpts) { o.sys.EndpointDelay = cycles }
+}
+
+// WithNetwork replaces the whole network parameter set.
+func WithNetwork(n NetworkConfig) Option {
+	return func(o *platformOpts) { o.net = n }
+}
+
+// WithSymmetricLinks makes intra-package links identical to inter-package
+// links (the symmetric configurations of §V-B/V-C).
+func WithSymmetricLinks() Option {
+	return func(o *platformOpts) {
+		o.net.LocalLinkBandwidth = o.net.PackageLinkBandwidth
+		o.net.LocalLinkLatency = o.net.PackageLinkLatency
+		o.net.LocalPacketSize = o.net.PackagePacketSize
+		o.net.LocalLinkEfficiency = o.net.PackageLinkEfficiency
+	}
+}
+
+// WithRings sets the ring multiplicities: local counts unidirectional
+// rings; horizontal and vertical count bidirectional rings.
+func WithRings(local, horizontal, vertical int) Option {
+	return func(o *platformOpts) {
+		o.localRings, o.horizontalRings, o.verticalRings = local, horizontal, vertical
+	}
+}
+
+// WithGlobalSwitches sets the alltoall topology's switch count.
+func WithGlobalSwitches(n int) Option {
+	return func(o *platformOpts) { o.switches = n }
+}
+
+func buildOpts(opts []Option) platformOpts {
+	o := platformOpts{
+		sys:        config.DefaultSystem(),
+		net:        config.DefaultNetwork(),
+		localRings: 2, horizontalRings: 2, verticalRings: 2, switches: 2, localSwitches: 1,
+	}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// NewTorusPlatform builds an MxNxK hierarchical torus platform: local x
+// horizontal x vertical (paper Fig. 3a).
+func NewTorusPlatform(local, horizontal, vertical int, opts ...Option) (*Platform, error) {
+	o := buildOpts(opts)
+	topo, err := topology.NewTorus(local, horizontal, vertical, topology.TorusConfig{
+		LocalRings: o.localRings, HorizontalRings: o.horizontalRings, VerticalRings: o.verticalRings})
+	if err != nil {
+		return nil, err
+	}
+	o.sys.Topology = config.Torus3D
+	o.sys.LocalSize, o.sys.HorizontalSize, o.sys.VerticalSize = local, horizontal, vertical
+	o.sys.LocalRings, o.sys.HorizontalRings, o.sys.VerticalRings = o.localRings, o.horizontalRings, o.verticalRings
+	return &Platform{topo: topo, sys: o.sys, net: o.net}, nil
+}
+
+// NewTorusNDPlatform builds an N-dimensional hierarchical torus platform —
+// the paper's 4D/5D future-work topologies. sizes[0] is the local
+// (intra-package) dimension; every further entry is an inter-package ring
+// axis, phased in order by hierarchical collectives. Ring multiplicities
+// follow WithRings for the first three axes (further axes default to 2
+// bidirectional rings).
+func NewTorusNDPlatform(sizes []int, opts ...Option) (*Platform, error) {
+	o := buildOpts(opts)
+	rings := []int{o.localRings}
+	for i := 1; i < len(sizes); i++ {
+		switch i {
+		case 1:
+			rings = append(rings, o.verticalRings)
+		case 2:
+			rings = append(rings, o.horizontalRings)
+		default:
+			rings = append(rings, 2)
+		}
+	}
+	topo, err := topology.NewTorusND(sizes, topology.TorusNDConfig{Rings: rings})
+	if err != nil {
+		return nil, err
+	}
+	o.sys.Topology = config.TorusND
+	o.sys.LocalSize = sizes[0]
+	o.sys.HorizontalSize = topo.NumNPUs() / sizes[0]
+	o.sys.VerticalSize = 1
+	return &Platform{topo: topo, sys: o.sys, net: o.net}, nil
+}
+
+// NewScaleOutPlatform builds the scale-out extension: pods copies of an
+// MxNxK torus pod joined through an ethernet-like spine (the paper's
+// concluding future-work item). The spine switch count comes from
+// WithGlobalSwitches (default 2); scale-out link and transport parameters
+// live in the network config (WithNetwork).
+func NewScaleOutPlatform(podLocal, podHorizontal, podVertical, pods int, opts ...Option) (*Platform, error) {
+	o := buildOpts(opts)
+	pod, err := topology.NewTorus(podLocal, podHorizontal, podVertical, topology.TorusConfig{
+		LocalRings: o.localRings, HorizontalRings: o.horizontalRings, VerticalRings: o.verticalRings})
+	if err != nil {
+		return nil, err
+	}
+	so, err := topology.NewScaleOut(pod, pods, o.switches)
+	if err != nil {
+		return nil, err
+	}
+	o.sys.Topology = config.TorusND
+	o.sys.LocalSize = podLocal
+	o.sys.HorizontalSize = so.NumNPUs() / podLocal
+	o.sys.VerticalSize = 1
+	return &Platform{topo: so, sys: o.sys, net: o.net}, nil
+}
+
+// NewSwitchedPlatform builds the switch-based scale-up topology (§III-C's
+// future-work list; NVSwitch/DGX-style): each package's M NPUs connect
+// all-to-all through per-package local switches, and the N packages
+// connect through global switches. Local switch count comes from
+// WithLocalSwitches (default 1), global from WithGlobalSwitches.
+func NewSwitchedPlatform(local, packages int, opts ...Option) (*Platform, error) {
+	o := buildOpts(opts)
+	topo, err := topology.NewSwitched(local, packages, topology.SwitchedConfig{
+		LocalSwitches: o.localSwitches, GlobalSwitches: o.switches})
+	if err != nil {
+		return nil, err
+	}
+	o.sys.Topology = config.AllToAll
+	o.sys.LocalSize, o.sys.HorizontalSize = local, packages
+	o.sys.GlobalSwitches = o.switches
+	return &Platform{topo: topo, sys: o.sys, net: o.net}, nil
+}
+
+// WithLocalSwitches sets the per-package switch count of a switched
+// platform.
+func WithLocalSwitches(n int) Option {
+	return func(o *platformOpts) { o.localSwitches = n }
+}
+
+// NewAllToAllPlatform builds an MxN hierarchical alltoall platform: M NPUs
+// per package, N packages connected through global switches (Fig. 3b).
+func NewAllToAllPlatform(local, packages int, opts ...Option) (*Platform, error) {
+	o := buildOpts(opts)
+	topo, err := topology.NewA2A(local, packages, topology.A2AConfig{
+		LocalRings: o.localRings, GlobalSwitches: o.switches})
+	if err != nil {
+		return nil, err
+	}
+	o.sys.Topology = config.AllToAll
+	o.sys.LocalSize, o.sys.HorizontalSize = local, packages
+	o.sys.LocalRings, o.sys.GlobalSwitches = o.localRings, o.switches
+	return &Platform{topo: topo, sys: o.sys, net: o.net}, nil
+}
+
+// NodeID identifies an NPU.
+type NodeID = topology.Node
+
+// IdentityMapping returns the 1:1 logical-to-physical permutation.
+func IdentityMapping(n int) []NodeID { return topology.IdentityMapping(n) }
+
+// MapOnto returns a platform that runs p's *logical* topology (its
+// dimensions, rings and collective algorithms) over phys's *physical*
+// links — the paper's logical/physical split (§IV-B). Logical NPU i is
+// placed at physical NPU perm[i]; logical ring hops become shortest-path
+// multi-hop routes through the physical fabric. System and network
+// parameters are taken from p.
+func (p *Platform) MapOnto(phys *Platform, perm []NodeID) (*Platform, error) {
+	m, err := topology.NewMapped(p.topo, phys.topo, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{topo: m, sys: p.sys, net: p.net}, nil
+}
+
+// Name describes the platform's topology (e.g. "4x4x4 torus").
+func (p *Platform) Name() string { return p.topo.Name() }
+
+// NumNPUs returns the platform's NPU count.
+func (p *Platform) NumNPUs() int { return p.topo.NumNPUs() }
+
+// RunCollective simulates one collective of op over bytes and returns its
+// completed handle with timing and per-phase breakdowns.
+func (p *Platform) RunCollective(op Op, bytes int64) (*CollectiveResult, error) {
+	run, err := p.RunCollectiveDetailed(op, bytes)
+	if err != nil {
+		return nil, err
+	}
+	return run.CollectiveResult, nil
+}
+
+// EnergyParams are the per-bit/per-MAC energy costs of the energy-cost
+// extension; DefaultEnergyParams returns literature-typical values.
+type EnergyParams = energy.Params
+
+// DefaultEnergyParams returns literature-typical multi-chip energy costs.
+func DefaultEnergyParams() EnergyParams { return energy.Default() }
+
+// EnergyBreakdown reports joules per component.
+type EnergyBreakdown = energy.Breakdown
+
+// CollectiveRun couples a completed collective with fabric-level traffic
+// and energy statistics.
+type CollectiveRun struct {
+	*CollectiveResult
+	// IntraPackageBytes / InterPackageBytes / ScaleOutBytes are the
+	// bytes carried per link class across the whole run.
+	IntraPackageBytes int64
+	InterPackageBytes int64
+	ScaleOutBytes     int64
+	// Energy is the communication energy at DefaultEnergyParams.
+	Energy EnergyBreakdown
+}
+
+// RunCollectiveDetailed is RunCollective plus per-class traffic and the
+// communication-energy breakdown.
+func (p *Platform) RunCollectiveDetailed(op Op, bytes int64) (*CollectiveRun, error) {
+	inst, err := p.instance()
+	if err != nil {
+		return nil, err
+	}
+	done := false
+	h, err := inst.Sys.IssueCollective(op, bytes, op.String(), func(*system.Handle) { done = true })
+	if err != nil {
+		return nil, err
+	}
+	inst.Eng.Run()
+	if !done {
+		return nil, fmt.Errorf("astrasim: collective %v (%d bytes) did not complete", op, bytes)
+	}
+	intra, inter, scaleOut := inst.Net.TotalBytesByClass()
+	return &CollectiveRun{
+		CollectiveResult:  h,
+		IntraPackageBytes: intra,
+		InterPackageBytes: inter,
+		ScaleOutBytes:     scaleOut,
+		Energy:            energy.CommEnergy(inst.Net, energy.Default()),
+	}, nil
+}
+
+// Train simulates the workload's training loop for the given number of
+// forward/backward passes.
+func (p *Platform) Train(def Definition, passes int) (TrainingResult, error) {
+	inst, err := p.instance()
+	if err != nil {
+		return TrainingResult{}, err
+	}
+	tr, err := workload.NewTrainer(inst, def, passes)
+	if err != nil {
+		return TrainingResult{}, err
+	}
+	return tr.Run()
+}
+
+// PipelineConfig describes a GPipe-style pipeline-parallel run (the third
+// §III-A strategy): layer-range stages on specific NPUs, microbatches,
+// and the stage-boundary tensor sizes.
+type PipelineConfig = workload.PipelineConfig
+
+// PipelineResult is the outcome of a pipeline-parallel simulation.
+type PipelineResult = workload.PipelineResult
+
+// PipelineSchedule orders each stage's pending microbatch work.
+type PipelineSchedule = workload.PipelineSchedule
+
+// Pipeline schedules.
+const (
+	GPipeSchedule    = workload.GPipeSchedule
+	OneFOneBSchedule = workload.OneFOneBSchedule
+)
+
+// AutoPartition cuts a workload into stages of roughly equal compute.
+func AutoPartition(def Definition, stages int) []int {
+	return workload.AutoPartition(def, stages)
+}
+
+// TrainPipeline simulates pipeline-parallel training: stages run their
+// layer ranges on their NPUs, and microbatch activations/gradients cross
+// stage boundaries point-to-point over the fabric.
+func (p *Platform) TrainPipeline(def Definition, cfg PipelineConfig, passes int) (PipelineResult, error) {
+	inst, err := p.instance()
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	return workload.RunPipeline(inst, def, cfg, passes)
+}
+
+// ResNet50 returns the data-parallel ResNet-50 workload at the given local
+// minibatch size, with compute delays from the default accelerator model.
+func ResNet50(batch int) Definition { return models.ResNet50(compute.Default(), batch) }
+
+// ResNet50ActivationBytes returns each ResNet-50 layer's output activation
+// size (the candidate stage-boundary tensors for TrainPipeline).
+func ResNet50ActivationBytes(batch int) []int64 { return models.ResNet50ActivationBytes(batch) }
+
+// VGG16 returns the data-parallel VGG-16 workload (~138M parameters).
+func VGG16(batch int) Definition { return models.VGG16(compute.Default(), batch) }
+
+// BERTLarge returns the hybrid-parallel BERT-Large encoder workload.
+func BERTLarge(batch, seqLen int) Definition {
+	return models.BERTLarge(compute.Default(), batch, seqLen)
+}
+
+// Transformer returns the hybrid-parallel Transformer encoder workload.
+func Transformer(batch, seqLen int) Definition {
+	return models.Transformer(compute.Default(), batch, seqLen)
+}
+
+// DLRM returns the all-to-all-heavy recommendation-model workload.
+func DLRM(batch int) Definition { return models.DLRM(compute.Default(), batch) }
+
+// ParseWorkload reads a Fig. 8-format workload description.
+func ParseWorkload(name string, r io.Reader) (Definition, error) {
+	return workload.Parse(name, r)
+}
+
+// WriteWorkload emits a workload description in the Fig. 8 format.
+func WriteWorkload(w io.Writer, d Definition) error { return workload.Write(w, d) }

@@ -1,0 +1,208 @@
+// Benchmarks regenerating each paper table/figure at reduced scale (the
+// full-scale sweep is cmd/sweep). One benchmark per experiment: Figs. 9-18
+// plus microbenchmarks for the simulator's building blocks. Benchmark
+// iterations re-run the complete simulation, so ns/op is the wall cost of
+// reproducing that experiment's data point(s).
+package astrasim_test
+
+import (
+	"testing"
+
+	"astrasim"
+	"astrasim/internal/experiments"
+)
+
+// benchFigure runs one figure's experiment with Quick options.
+func benchFigure(b *testing.B, run func(experiments.Options) bool) {
+	b.ReportAllocs()
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if !run(o) {
+			b.Fatal("experiment failed")
+		}
+	}
+}
+
+func BenchmarkFig09_1DTopologyComparison(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.Fig9(o)
+		return err == nil && len(t) == 2
+	})
+}
+
+func BenchmarkFig10_TorusDimensionality(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.Fig10(o)
+		return err == nil && len(t) == 1
+	})
+}
+
+func BenchmarkFig11_AsymmetricHierarchy(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.Fig11(o)
+		return err == nil && len(t) == 2
+	})
+}
+
+func BenchmarkFig12_TorusScaling(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.Fig12(o)
+		return err == nil && len(t) == 2
+	})
+}
+
+func BenchmarkFig13_TransformerLayerwise(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.Fig13(o)
+		return err == nil && len(t) == 1
+	})
+}
+
+func BenchmarkFig14_ResNetLayerwiseComm(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.Fig14(o)
+		return err == nil && len(t) == 1
+	})
+}
+
+func BenchmarkFig15_ResNetComputeCommExposed(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.Fig15(o)
+		return err == nil && len(t) == 1
+	})
+}
+
+func BenchmarkFig16_ResNetBreakdownLIFOvsFIFO(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.Fig16(o)
+		return err == nil && len(t) == 2
+	})
+}
+
+func BenchmarkFig17_ExposureVsSystemSize(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.Fig17(o)
+		return err == nil && len(t) == 1
+	})
+}
+
+func BenchmarkFig18_ExposureVsComputePower(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.Fig18(o)
+		return err == nil && len(t) == 1
+	})
+}
+
+// Microbenchmarks of the simulator core: how fast the simulator itself
+// runs, independent of any paper experiment.
+
+func BenchmarkAllReduce4x4x4_4MB(b *testing.B) {
+	b.ReportAllocs()
+	p, err := astrasim.NewTorusPlatform(4, 4, 4, astrasim.WithAlgorithm(astrasim.Enhanced))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunCollective(astrasim.AllReduce, 4<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllToAll_8Packages_1MB(b *testing.B) {
+	b.ReportAllocs()
+	p, err := astrasim.NewAllToAllPlatform(1, 8, astrasim.WithGlobalSwitches(7), astrasim.WithRings(1, 1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunCollective(astrasim.AllToAll, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainDLRM_16NPUs(b *testing.B) {
+	b.ReportAllocs()
+	def := astrasim.DLRM(128)
+	for i := 0; i < b.N; i++ {
+		p, err := astrasim.NewTorusPlatform(4, 4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Train(def, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension-study benchmarks (future-work experiments).
+
+func BenchmarkExt4D_TorusDimensionality(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.Ext4D(o)
+		return err == nil && len(t) == 1
+	})
+}
+
+func BenchmarkExtMapping_LogicalOnPhysical(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.ExtMapping(o)
+		return err == nil && len(t) == 1
+	})
+}
+
+func BenchmarkExtEnergy_CommEnergy(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.ExtEnergy(o)
+		return err == nil && len(t) == 1
+	})
+}
+
+func BenchmarkExtAblation_SchedulingKnobs(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.ExtAblation(o)
+		return err == nil && len(t) == 3
+	})
+}
+
+func BenchmarkExtScaleOut_PodsOverSpine(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.ExtScaleOut(o)
+		return err == nil && len(t) == 1
+	})
+}
+
+func BenchmarkExtSwitched_SwitchBasedScaleUp(b *testing.B) {
+	benchFigure(b, func(o experiments.Options) bool {
+		t, err := experiments.ExtSwitched(o)
+		return err == nil && len(t) == 2
+	})
+}
+
+func BenchmarkPipelineResNet50_8Stages(b *testing.B) {
+	b.ReportAllocs()
+	def := astrasim.ResNet50(8)
+	acts := astrasim.ResNet50ActivationBytes(8)
+	boundaries := astrasim.AutoPartition(def, 8)
+	nodes := make([]astrasim.NodeID, 8)
+	for i := range nodes {
+		nodes[i] = astrasim.NodeID(i)
+	}
+	bb := make([]int64, len(boundaries))
+	for i, bd := range boundaries {
+		bb[i] = acts[bd-1] / 4
+	}
+	for i := 0; i < b.N; i++ {
+		p, err := astrasim.NewTorusPlatform(1, 8, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.TrainPipeline(def, astrasim.PipelineConfig{
+			Boundaries: boundaries, StageNodes: nodes,
+			Microbatches: 4, BoundaryBytes: bb,
+		}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

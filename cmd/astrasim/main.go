@@ -1,0 +1,180 @@
+// Command astrasim is the end-to-end simulator CLI: it runs the training
+// loop of a DNN workload over a simulated scale-up fabric and reports
+// layer-wise compute, communication, and exposed-communication time.
+//
+// The workload is either a Fig. 8-format description file (-workload
+// path/to/file) or one of the built-in models (-workload resnet50,
+// transformer, dlrm). System and network parameters mirror Table III of
+// the paper; defaults are Table IV.
+//
+// Examples:
+//
+//	astrasim -workload resnet50 -topology 2x4x4 -num-passes 2
+//	astrasim -workload transformer -topology 2x2x2 -scheduling-policy LIFO
+//	astrasim -workload my_dnn.txt -topology a2a:4x4 -switches 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"astrasim/internal/cli"
+	"astrasim/internal/compute"
+	"astrasim/internal/config"
+	"astrasim/internal/models"
+	"astrasim/internal/report"
+	"astrasim/internal/system"
+	"astrasim/internal/trace"
+	"astrasim/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "resnet50", "workload file path, or builtin: resnet50|transformer|dlrm")
+	passes := flag.Int("num-passes", 2, "forward/backward iterations to simulate")
+	batch := flag.Int("batch", 32, "local minibatch size (builtin workloads)")
+	seqLen := flag.Int("seq-len", 128, "sequence length (builtin transformer)")
+	topoFlag := flag.String("topology", "2x4x4", "torus MxNxK or alltoall a2a:MxN")
+	algFlag := flag.String("algorithm", "enhanced", "baseline or enhanced collective algorithm")
+	policyFlag := flag.String("scheduling-policy", "LIFO", "LIFO or FIFO")
+	switches := flag.Int("global-switches", 2, "global switches (alltoall topology)")
+	localRings := flag.Int("local-rings", 2, "unidirectional local rings")
+	horizontalRings := flag.Int("horizontal-rings", 2, "bidirectional horizontal rings")
+	verticalRings := flag.Int("vertical-rings", 2, "bidirectional vertical rings")
+	splits := flag.Int("preferred-set-splits", config.DefaultSystem().PreferredSetSplits, "chunks per collective set")
+	endpointDelay := flag.Uint64("endpoint-delay", 10, "NMU delay per received message (cycles)")
+	computeScale := flag.Float64("compute-scale", 1, "NPU compute-power multiplier (builtin workloads)")
+	localBW := flag.Float64("local-link-bw", 200, "intra-package link bandwidth (GB/s)")
+	packageBW := flag.Float64("package-link-bw", 25, "inter-package link bandwidth (GB/s)")
+	pktCap := flag.Int("max-packets-per-message", 8, "packet-event cap per message (0 = exact)")
+	writeWorkload := flag.String("write-workload", "", "write the selected workload as a Fig. 8 file and exit")
+	traceOut := flag.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) of the run to this file")
+	flag.Parse()
+
+	def, err := loadWorkload(*wl, *batch, *seqLen, *computeScale)
+	if err != nil {
+		fatal(err)
+	}
+	if *writeWorkload != "" {
+		fh, err := os.Create(*writeWorkload)
+		if err != nil {
+			fatal(err)
+		}
+		if err := workload.Write(fh, def); err != nil {
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d layers, %s)\n", *writeWorkload, len(def.Layers), def.Parallelism)
+		return
+	}
+
+	cfg := config.DefaultSystem()
+	if cfg.Algorithm, err = config.ParseAlgorithm(*algFlag); err != nil {
+		fatal(err)
+	}
+	if cfg.SchedulingPolicy, err = config.ParseSchedulingPolicy(*policyFlag); err != nil {
+		fatal(err)
+	}
+	cfg.PreferredSetSplits = *splits
+	cfg.EndpointDelay = *endpointDelay
+	cfg.LocalRings, cfg.HorizontalRings, cfg.VerticalRings = *localRings, *horizontalRings, *verticalRings
+	cfg.GlobalSwitches = *switches
+
+	topo, err := cli.BuildTopology(*topoFlag, cli.TopologyOptions{
+		LocalRings:      *localRings,
+		HorizontalRings: *horizontalRings,
+		VerticalRings:   *verticalRings,
+		GlobalSwitches:  *switches,
+	}, &cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	net := config.DefaultNetwork()
+	net.LocalLinkBandwidth = *localBW
+	net.PackageLinkBandwidth = *packageBW
+	net.MaxPacketsPerMessage = *pktCap
+
+	inst, err := system.NewInstance(topo, cfg, net)
+	if err != nil {
+		fatal(err)
+	}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New()
+		inst.Sys.Tracer = rec
+	}
+	tr, err := workload.NewTrainer(inst, def, *passes)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if rec != nil {
+		fh, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteJSON(fh); err != nil {
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d spans)\n", *traceOut, rec.Len())
+	}
+
+	fmt.Printf("workload %s (%s), %d passes on %s, %v algorithm, %v scheduling\n",
+		def.Name, def.Parallelism, *passes, topo.Name(), cfg.Algorithm, cfg.SchedulingPolicy)
+	t := report.New("layers", "per-layer results",
+		"layer", "compute", "fwd-comm", "ig-comm", "wg-comm", "exposed")
+	for _, l := range res.Layers {
+		t.AddRow(l.Name,
+			report.Int(int64(l.ComputeCycles)),
+			report.Int(int64(l.FwdCommCycles)),
+			report.Int(int64(l.IGCommCycles)),
+			report.Int(int64(l.WGCommCycles)),
+			report.Int(int64(l.ExposedCycles)))
+	}
+	if err := t.WriteASCII(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\ntotal: %d cycles (%.3f ms at 1 GHz)\n", res.TotalCycles, float64(res.TotalCycles)/1e6)
+	fmt.Printf("compute: %d cycles (%s of total)\n", res.TotalCompute(),
+		report.Percent(float64(res.TotalCompute())/float64(res.TotalCycles)))
+	fmt.Printf("exposed communication: %d cycles (%s of total)\n", res.TotalExposed(),
+		report.Percent(res.ExposedRatio()))
+	fmt.Printf("raw communication (overlappable): %d cycles\n", res.TotalComm())
+}
+
+func loadWorkload(name string, batch, seqLen int, scale float64) (workload.Definition, error) {
+	m := compute.Default()
+	switch strings.ToLower(name) {
+	case "resnet50", "resnet-50":
+		return models.ResNet50(m, batch).ScaleCompute(scale), nil
+	case "transformer":
+		return models.Transformer(m, batch, seqLen).ScaleCompute(scale), nil
+	case "dlrm":
+		return models.DLRM(m, batch).ScaleCompute(scale), nil
+	}
+	fh, err := os.Open(name)
+	if err != nil {
+		return workload.Definition{}, fmt.Errorf("workload %q is not builtin and not readable: %w", name, err)
+	}
+	defer fh.Close()
+	def, err := workload.Parse(name, fh)
+	if err != nil {
+		return workload.Definition{}, err
+	}
+	return def.ScaleCompute(scale), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "astrasim:", err)
+	os.Exit(1)
+}

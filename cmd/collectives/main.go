@@ -1,0 +1,126 @@
+// Command collectives runs one collective operation on one topology — the
+// "bandwidth test" microbenchmark behind Figs. 9-12 — and prints the total
+// communication time, per-class traffic and energy, and the per-phase
+// Queue P0-P4 / Network P1-P4 breakdown.
+//
+// Usage:
+//
+//	collectives -op allreduce -topology 4x4x4 -size 64MB [-algorithm enhanced]
+//	collectives -op alltoall -topology a2a:1x8 -switches 7 -size 4MB
+//	collectives -op allreduce -topology 2x2x2x2x2 -size 16MB   # 5D torus
+//
+// Topologies: "MxNxK" builds a hierarchical torus (local x horizontal x
+// vertical); more than three dimensions builds the N-dimensional torus
+// extension; "a2a:MxN" builds a hierarchical alltoall with -switches
+// global switches.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"astrasim/internal/cli"
+	"astrasim/internal/collectives"
+	"astrasim/internal/config"
+	"astrasim/internal/energy"
+	"astrasim/internal/system"
+	"astrasim/internal/topology"
+)
+
+func main() {
+	opFlag := flag.String("op", "allreduce", "collective: reducescatter|allgather|allreduce|alltoall")
+	topoFlag := flag.String("topology", "4x4x4", "torus MxNxK (or N-D), or alltoall a2a:MxN")
+	sizeFlag := flag.String("size", "4MB", "collective set size (supports KB/MB/GB suffixes)")
+	algFlag := flag.String("algorithm", "baseline", "baseline or enhanced hierarchical algorithm")
+	policyFlag := flag.String("scheduling-policy", "LIFO", "LIFO or FIFO ready-queue order")
+	switches := flag.Int("switches", 2, "global switches (alltoall topology)")
+	localRings := flag.Int("local-rings", 2, "unidirectional local rings")
+	horizontalRings := flag.Int("horizontal-rings", 2, "bidirectional horizontal rings")
+	verticalRings := flag.Int("vertical-rings", 2, "bidirectional vertical rings")
+	splits := flag.Int("preferred-set-splits", config.DefaultSystem().PreferredSetSplits, "chunks per set")
+	symmetric := flag.Bool("symmetric", false, "make local links identical to inter-package links")
+	flag.Parse()
+
+	op, err := collectives.ParseOp(strings.ToUpper(*opFlag))
+	if err != nil {
+		fatal(err)
+	}
+	alg, err := config.ParseAlgorithm(*algFlag)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := config.ParseSchedulingPolicy(*policyFlag)
+	if err != nil {
+		fatal(err)
+	}
+	size, err := cli.ParseSize(*sizeFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := config.DefaultSystem()
+	cfg.Algorithm = alg
+	cfg.SchedulingPolicy = policy
+	cfg.PreferredSetSplits = *splits
+	topo, err := cli.BuildTopology(*topoFlag, cli.TopologyOptions{
+		LocalRings:      *localRings,
+		HorizontalRings: *horizontalRings,
+		VerticalRings:   *verticalRings,
+		GlobalSwitches:  *switches,
+	}, &cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	net := config.DefaultNetwork()
+	if *symmetric {
+		net.LocalLinkBandwidth = net.PackageLinkBandwidth
+		net.LocalLinkLatency = net.PackageLinkLatency
+		net.LocalPacketSize = net.PackagePacketSize
+	}
+
+	inst, err := system.NewInstance(topo, cfg, net)
+	if err != nil {
+		fatal(err)
+	}
+	done := false
+	h, err := inst.Sys.IssueCollective(op, size, op.String(), func(*system.Handle) { done = true })
+	if err != nil {
+		fatal(err)
+	}
+	inst.Eng.Run()
+	if !done {
+		fatal(fmt.Errorf("collective did not complete"))
+	}
+	fmt.Printf("%v of %s on %s (%s algorithm, %d NPUs)\n",
+		op, *sizeFlag, topo.Name(), alg, topo.NumNPUs())
+	fmt.Printf("total communication time: %d cycles (%.3f us at 1 GHz)\n",
+		h.Duration(), float64(h.Duration())/1000)
+	intra, inter, scaleOut := inst.Net.TotalBytesByClass()
+	e := energy.CommEnergy(inst.Net, energy.Default())
+	fmt.Printf("traffic: %d intra-package, %d inter-package, %d scale-out bytes\n", intra, inter, scaleOut)
+	fmt.Printf("communication energy: %.3g J (intra %.3g, inter %.3g, scale-out %.3g, routers %.3g)\n",
+		e.Communication(), e.IntraPackage, e.InterPackage, e.ScaleOut, e.Router)
+	fmt.Printf("phases: %d\n", h.NumPhases())
+	for i, p := range h.Phases() {
+		fmt.Printf("  P%d %-40v queue %10.1f  network %10.1f cycles\n",
+			i+1, p, h.AvgQueueDelay(i+1), h.AvgNetworkDelay(i+1))
+	}
+	fmt.Printf("  P0 ready-queue delay: %.1f cycles\n", h.AvgQueueDelay(0))
+	fmt.Println("link utilization over the run:")
+	for _, class := range []topology.LinkClass{topology.IntraPackage, topology.InterPackage, topology.ScaleOutLink} {
+		u, ok := inst.Net.UtilizationByClass(h.DoneAt)[class]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-14v %4d links  avg %5.1f%%  peak %5.1f%%\n",
+			class, u.Links, 100*u.AvgBusy, 100*u.PeakBusy)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "collectives:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command sweep regenerates every figure of the paper's evaluation
+// section (Figs. 9-18) and writes the rows/series as CSV files plus an
+// aligned-text summary.
+//
+// Usage:
+//
+//	sweep [-fig all|fig09|fig10|...|fig18] [-out results] [-quick]
+//
+// Full mode sweeps the paper's message-size ranges and runs two training
+// iterations of ResNet-50 and Transformer; -quick shrinks everything for a
+// fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"astrasim/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (fig09..fig18, ext4d/extmap/extenergy/extablation, or all)")
+	out := flag.String("out", "results", "output directory for CSV files")
+	quick := flag.Bool("quick", false, "reduced sizes/iterations for a fast smoke run")
+	ext := flag.Bool("ext", false, "also run the future-work extension studies with -fig all")
+	flag.Parse()
+
+	opts := experiments.Full()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	figures := experiments.Figures()
+	if *ext || *fig != "all" {
+		figures = append(figures, experiments.Extensions()...)
+	}
+	var ran int
+	for _, f := range figures {
+		if *fig != "all" && !strings.HasPrefix(f.ID, *fig) && f.ID != *fig {
+			continue
+		}
+		ran++
+		start := time.Now()
+		fmt.Printf("=== %s: %s\n", f.ID, f.Title)
+		tables, err := f.Run(opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", f.ID, err))
+		}
+		for _, t := range tables {
+			if err := t.WriteASCII(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			path := filepath.Join(*out, t.ID+".csv")
+			fh, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := t.WriteCSV(fh); err != nil {
+				fatal(err)
+			}
+			if err := fh.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", f.ID, time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("unknown figure %q; use fig09..fig18 or all", *fig))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+package astrasim_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"astrasim"
+)
+
+// The simplest use: one collective on a Table IV platform.
+func ExamplePlatform_RunCollective() {
+	p, err := astrasim.NewTorusPlatform(4, 4, 4, astrasim.WithAlgorithm(astrasim.Enhanced))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.RunCollective(astrasim.AllReduce, 64<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Duration(), "cycles") // 1 cycle = 1 ns at 1 GHz
+	// Output: 315214 cycles
+}
+
+// End-to-end training with exposed-communication accounting.
+func ExamplePlatform_Train() {
+	p, err := astrasim.NewTorusPlatform(2, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Train(astrasim.DLRM(256), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d layers simulated; total %d cycles\n", len(res.Layers), res.TotalCycles)
+	// Output: 8 layers simulated; total 98777 cycles
+}
+
+// Workload files use the paper's Fig. 8 text format.
+func ExampleParseWorkload() {
+	input := `DATA
+1
+conv1
+5000 5000 5000
+NONE NONE ALLREDUCE
+0 0 65536
+1
+`
+	def, err := astrasim.ParseWorkload("tiny", strings.NewReader(input))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(def.Parallelism, len(def.Layers), def.Layers[0].Name)
+	// Output: DATA 1 conv1
+}

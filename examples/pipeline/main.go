@@ -1,0 +1,91 @@
+// Pipeline parallelism — the third strategy §III-A names alongside data
+// and model parallelism. ResNet-50 is cut into 8 compute-balanced stages,
+// one per NPU of a 1x8x1 ring; the minibatch flows through as
+// microbatches, activations crossing each stage boundary point-to-point.
+// The example sweeps the microbatch count to show the GPipe bubble
+// shrinking, then compares against data-parallel training on the same 8
+// NPUs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"astrasim"
+)
+
+func main() {
+	const batch = 32
+	def := astrasim.ResNet50(batch)
+	acts := astrasim.ResNet50ActivationBytes(batch)
+
+	p, err := astrasim.NewTorusPlatform(1, 8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	boundaries := astrasim.AutoPartition(def, 8)
+	nodes := make([]astrasim.NodeID, 8)
+	for i := range nodes {
+		nodes[i] = astrasim.NodeID(i)
+	}
+
+	// Throughput-normalized comparison: the pipeline processes one
+	// 32-sample minibatch per iteration across all 8 NPUs, while data
+	// parallelism processes 8 x 32; compare cycles per sample.
+	fmt.Println("ResNet-50 pipelined over 8 stages on a 1x8x1 ring (2 iterations):")
+	fmt.Printf("%-14s %14s %10s %16s\n", "microbatches", "total cycles", "bubble", "cycles/sample")
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		bb := make([]int64, len(boundaries))
+		for i, b := range boundaries {
+			bb[i] = acts[b-1] / int64(m) // per-microbatch boundary tensor
+			if bb[i] < 1 {
+				bb[i] = 1
+			}
+		}
+		res, err := p.TrainPipeline(def, astrasim.PipelineConfig{
+			Boundaries:    boundaries,
+			StageNodes:    nodes,
+			Microbatches:  m,
+			BoundaryBytes: bb,
+		}, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14d %14d %9.1f%% %16.0f\n",
+			m, res.TotalCycles, 100*res.BubbleRatio,
+			float64(res.TotalCycles)/(2*batch))
+	}
+
+	// Same partition under the 1F1B schedule at 16 microbatches.
+	bb16 := make([]int64, len(boundaries))
+	for i, b := range boundaries {
+		bb16[i] = acts[b-1] / 16
+		if bb16[i] < 1 {
+			bb16[i] = 1
+		}
+	}
+	ofob, err := p.TrainPipeline(def, astrasim.PipelineConfig{
+		Boundaries:    boundaries,
+		StageNodes:    nodes,
+		Microbatches:  16,
+		BoundaryBytes: bb16,
+		Schedule:      astrasim.OneFOneBSchedule,
+	}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %14d %9.1f%% %16.0f   (1F1B schedule)\n",
+		"16", ofob.TotalCycles, 100*ofob.BubbleRatio,
+		float64(ofob.TotalCycles)/(2*batch))
+
+	dp, err := p.Train(def, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndata-parallel on the same 8 NPUs: %d cycles for 8x the samples"+
+		" -> %.0f cycles/sample (exposed comm %.1f%%)\n",
+		dp.TotalCycles, float64(dp.TotalCycles)/(2*batch*8), 100*dp.ExposedRatio())
+	fmt.Println("\nMore microbatches shrink the pipeline fill/drain bubble, but pure")
+	fmt.Println("pipelining still idles stages; per sample, data parallelism keeps")
+	fmt.Println("every NPU busy at the price of gradient all-reduces (here hidden).")
+}

@@ -1,0 +1,34 @@
+// Quickstart: simulate one 64 MB all-reduce on a 4x4x4 hierarchical torus
+// (64 NPUs, Table IV parameters) with both the baseline 3-phase and the
+// enhanced 4-phase algorithm, and print the per-phase breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"astrasim"
+)
+
+func main() {
+	const size = 64 << 20
+	for _, alg := range []astrasim.Algorithm{astrasim.Baseline, astrasim.Enhanced} {
+		p, err := astrasim.NewTorusPlatform(4, 4, 4, astrasim.WithAlgorithm(alg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := p.RunCollective(astrasim.AllReduce, size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("all-reduce of 64MB on %s, %v algorithm: %d cycles (%.1f us)\n",
+			p.Name(), alg, res.Duration(), float64(res.Duration())/1000)
+		for i, ph := range res.Phases() {
+			fmt.Printf("  phase %d: %-42v queue %9.0f  network %9.0f cycles\n",
+				i+1, ph, res.AvgQueueDelay(i+1), res.AvgNetworkDelay(i+1))
+		}
+		fmt.Println()
+	}
+	fmt.Println("The enhanced algorithm reduce-scatters inside each package first,")
+	fmt.Println("sending 4x less traffic over the slow inter-package links (paper §III-D).")
+}

@@ -1,0 +1,3 @@
+module astrasim
+
+go 1.22

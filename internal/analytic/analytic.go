@@ -1,0 +1,125 @@
+// Package analytic provides closed-form latency-bandwidth ("alpha-beta")
+// cost estimates for the hierarchical collectives. It plays two roles:
+//
+//   - a fast first-order design tool (the same niche ASTRA-sim's later
+//     analytical network backend fills), and
+//   - an independent oracle for the event-driven simulator: tests assert
+//     that simulated collective times never beat the analytic lower bound
+//     and stay within a constant factor of the estimate on uncongested
+//     runs.
+//
+// The model charges each phase max(bandwidth term, latency term): the
+// bandwidth term is the per-node bytes of the phase divided across the
+// dimension's parallel channels at effective link bandwidth; the latency
+// term is the dependent step chain (each step pays link latency, router
+// hops, and the endpoint delay). Chunk pipelining in the simulator hides
+// most per-step latency under serialization, so the lower bound takes the
+// max of the two terms, and the estimate their sum.
+package analytic
+
+import (
+	"fmt"
+
+	"astrasim/internal/collectives"
+	"astrasim/internal/config"
+	"astrasim/internal/topology"
+)
+
+// Bounds is an analytic prediction for one collective.
+type Bounds struct {
+	// Lower is a time no correct simulation can beat (cycles).
+	Lower float64
+	// Estimate is the expected uncongested completion time (cycles).
+	Estimate float64
+}
+
+// linkParams resolves per-class effective bandwidth and latency.
+func linkParams(class topology.LinkClass, net config.Network) (bw float64, lat float64) {
+	switch class {
+	case topology.IntraPackage:
+		return net.LocalLinkBandwidth * net.LocalLinkEfficiency,
+			float64(net.LocalLinkLatency + net.RouterLatency)
+	case topology.ScaleOutLink:
+		return net.ScaleOutLinkBandwidth * net.ScaleOutLinkEfficiency,
+			float64(net.ScaleOutLinkLatency + net.RouterLatency)
+	}
+	return net.PackageLinkBandwidth * net.PackageLinkEfficiency,
+		float64(net.PackageLinkLatency + net.RouterLatency)
+}
+
+// phaseClass returns the link class a phase's dimension uses.
+func phaseClass(d topology.Dim) topology.LinkClass {
+	switch d {
+	case topology.DimLocal:
+		return topology.IntraPackage
+	case topology.DimScaleOut:
+		return topology.ScaleOutLink
+	}
+	return topology.InterPackage
+}
+
+// PhaseBounds computes the bounds for one phase of a collective over a
+// set of setBytes per node.
+func PhaseBounds(p collectives.Phase, channels int, net config.Network, sys config.System, setBytes int64) Bounds {
+	if p.Size <= 1 {
+		return Bounds{}
+	}
+	bw, lat := linkParams(phaseClass(p.Dim), net)
+	hops := 1.0
+	if p.Direct {
+		hops = 2 // NPU -> switch -> NPU
+	}
+	perStep := hops*lat + float64(sys.EndpointDelay)
+	if p.Dim == topology.DimScaleOut {
+		perStep += float64(sys.TransportDelay)
+	}
+
+	// Bandwidth term: total bytes a node transmits, spread over the
+	// parallel channels (rings or switch links) available to the phase.
+	lanes := float64(channels)
+	if p.Direct {
+		// A direct exchange uses up to min(switches, peers) links at
+		// once per node.
+		if peers := float64(p.Size - 1); peers < lanes {
+			lanes = peers
+		}
+	}
+	bwTime := float64(p.TotalBytesPerNode(setBytes)) / (lanes * bw)
+	latTime := float64(p.NumSteps()) * perStep
+
+	lower := bwTime
+	if latTime > lower {
+		lower = latTime
+	}
+	return Bounds{Lower: lower, Estimate: bwTime + latTime}
+}
+
+// CollectiveBounds sums phase bounds over a compiled collective. Phases
+// on disjoint dimensions can overlap across chunks, so the lower bound is
+// the maximum single-phase lower bound (the pipeline bottleneck), while
+// the estimate adds all phases (the latency of one chunk traversing the
+// whole pipeline plus the bottleneck's bandwidth time).
+func CollectiveBounds(op collectives.Op, topo topology.Topology, alg config.Algorithm,
+	net config.Network, sys config.System, setBytes int64) (Bounds, error) {
+	phases, err := collectives.Compile(op, topo, alg)
+	if err != nil {
+		return Bounds{}, err
+	}
+	channels := make(map[topology.Dim]int)
+	for _, d := range topo.Dims() {
+		channels[d.Dim] = d.Channels
+	}
+	var out Bounds
+	for _, p := range phases {
+		ch, ok := channels[p.Dim]
+		if !ok {
+			return Bounds{}, fmt.Errorf("analytic: topology %s lacks dimension %v", topo.Name(), p.Dim)
+		}
+		b := PhaseBounds(p, ch, net, sys, setBytes)
+		if b.Lower > out.Lower {
+			out.Lower = b.Lower
+		}
+		out.Estimate += b.Estimate
+	}
+	return out, nil
+}

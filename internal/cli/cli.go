@@ -1,0 +1,171 @@
+// Package cli holds the flag-parsing helpers shared by the command-line
+// tools: size strings with binary suffixes, and topology specifications
+// ("MxNxK" torus, "MxNxKxL..." N-dimensional torus, "a2a:MxN" hierarchical
+// alltoall).
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"astrasim/internal/config"
+	"astrasim/internal/topology"
+)
+
+// ParseSize parses "64MB"-style sizes (B/KB/MB/GB binary suffixes).
+func ParseSize(s string) (int64, error) {
+	mult := int64(1)
+	up := strings.ToUpper(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(up, "GB"):
+		mult, up = 1<<30, strings.TrimSuffix(up, "GB")
+	case strings.HasSuffix(up, "MB"):
+		mult, up = 1<<20, strings.TrimSuffix(up, "MB")
+	case strings.HasSuffix(up, "KB"):
+		mult, up = 1<<10, strings.TrimSuffix(up, "KB")
+	case strings.HasSuffix(up, "B"):
+		up = strings.TrimSuffix(up, "B")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(up), 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("cli: bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+// ParseDims splits a "2x4x4"-style list of positive dimensions.
+func ParseDims(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("cli: topology %q: bad dimension %q", s, p)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+// TopologyOptions carries the ring/switch multiplicities for BuildTopology.
+type TopologyOptions struct {
+	LocalRings      int
+	HorizontalRings int
+	VerticalRings   int
+	GlobalSwitches  int
+}
+
+// DefaultTopologyOptions matches Table IV.
+func DefaultTopologyOptions() TopologyOptions {
+	return TopologyOptions{LocalRings: 2, HorizontalRings: 2, VerticalRings: 2, GlobalSwitches: 2}
+}
+
+// BuildTopology parses a topology spec and constructs it, updating cfg's
+// topology fields in place:
+//
+//	"MxNxK"        hierarchical 3D torus (local x horizontal x vertical)
+//	"MxA1x...xAd"  N-dimensional torus for d != 2 inter axes
+//	"a2a:MxN"      hierarchical alltoall with opts.GlobalSwitches switches
+//	"sw:MxN"       switch-based (NVSwitch-style): per-package local
+//	               switches plus opts.GlobalSwitches global switches
+//	"so:MxNxK/P"   P pods of an MxNxK torus over a scale-out spine with
+//	               opts.GlobalSwitches spine switches
+func BuildTopology(spec string, opts TopologyOptions, cfg *config.System) (topology.Topology, error) {
+	if swSpec, ok := strings.CutPrefix(spec, "sw:"); ok {
+		dims, err := ParseDims(swSpec)
+		if err != nil {
+			return nil, err
+		}
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("cli: switched topology %q: want MxN", spec)
+		}
+		cfg.Topology = config.AllToAll
+		cfg.LocalSize, cfg.HorizontalSize = dims[0], dims[1]
+		cfg.GlobalSwitches = opts.GlobalSwitches
+		return topology.NewSwitched(dims[0], dims[1], topology.SwitchedConfig{
+			LocalSwitches: 1, GlobalSwitches: opts.GlobalSwitches})
+	}
+	if soSpec, ok := strings.CutPrefix(spec, "so:"); ok {
+		podSpec, podsStr, ok := strings.Cut(soSpec, "/")
+		if !ok {
+			return nil, fmt.Errorf("cli: scale-out topology %q: want so:MxNxK/pods", spec)
+		}
+		dims, err := ParseDims(podSpec)
+		if err != nil {
+			return nil, err
+		}
+		if len(dims) != 3 {
+			return nil, fmt.Errorf("cli: scale-out pod %q: want MxNxK", podSpec)
+		}
+		pods, err := strconv.Atoi(podsStr)
+		if err != nil || pods <= 1 {
+			return nil, fmt.Errorf("cli: scale-out pods %q: want an integer >= 2", podsStr)
+		}
+		pod, err := topology.NewTorus(dims[0], dims[1], dims[2], topology.TorusConfig{
+			LocalRings: opts.LocalRings, HorizontalRings: opts.HorizontalRings, VerticalRings: opts.VerticalRings})
+		if err != nil {
+			return nil, err
+		}
+		so, err := topology.NewScaleOut(pod, pods, opts.GlobalSwitches)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Topology = config.TorusND
+		cfg.LocalSize = dims[0]
+		cfg.HorizontalSize = so.NumNPUs() / dims[0]
+		cfg.VerticalSize = 1
+		cfg.LocalRings = opts.LocalRings
+		return so, nil
+	}
+	if a2aSpec, ok := strings.CutPrefix(spec, "a2a:"); ok {
+		dims, err := ParseDims(a2aSpec)
+		if err != nil {
+			return nil, err
+		}
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("cli: alltoall topology %q: want MxN", spec)
+		}
+		cfg.Topology = config.AllToAll
+		cfg.LocalSize, cfg.HorizontalSize = dims[0], dims[1]
+		cfg.LocalRings, cfg.GlobalSwitches = opts.LocalRings, opts.GlobalSwitches
+		return topology.NewA2A(dims[0], dims[1], topology.A2AConfig{
+			LocalRings: opts.LocalRings, GlobalSwitches: opts.GlobalSwitches})
+	}
+	dims, err := ParseDims(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case len(dims) < 2:
+		return nil, fmt.Errorf("cli: topology %q: want at least local x axis", spec)
+	case len(dims) == 3:
+		cfg.Topology = config.Torus3D
+		cfg.LocalSize, cfg.HorizontalSize, cfg.VerticalSize = dims[0], dims[1], dims[2]
+		cfg.LocalRings, cfg.HorizontalRings, cfg.VerticalRings = opts.LocalRings, opts.HorizontalRings, opts.VerticalRings
+		return topology.NewTorus(dims[0], dims[1], dims[2], topology.TorusConfig{
+			LocalRings: opts.LocalRings, HorizontalRings: opts.HorizontalRings, VerticalRings: opts.VerticalRings})
+	default:
+		rings := []int{opts.LocalRings}
+		for i := 1; i < len(dims); i++ {
+			switch i {
+			case 1:
+				rings = append(rings, opts.VerticalRings)
+			case 2:
+				rings = append(rings, opts.HorizontalRings)
+			default:
+				rings = append(rings, 2)
+			}
+		}
+		nd, err := topology.NewTorusND(dims, topology.TorusNDConfig{Rings: rings})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Topology = config.TorusND
+		cfg.LocalSize = dims[0]
+		cfg.HorizontalSize = nd.NumNPUs() / dims[0]
+		cfg.VerticalSize = 1
+		cfg.LocalRings = opts.LocalRings
+		return nd, nil
+	}
+}

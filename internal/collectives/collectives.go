@@ -1,0 +1,307 @@
+// Package collectives implements the topology-aware collective
+// communication algorithms of the paper (§III-B and §III-D): ring and
+// direct (alltoall) reduce-scatter, all-gather, all-reduce and all-to-all,
+// and their multi-phase hierarchical compositions over the hierarchical
+// torus and alltoall topologies.
+//
+// A collective is compiled into an ordered list of Phases, one per
+// topology dimension it touches. Each phase runs either a ring algorithm
+// (N-1 neighbor steps) or a direct exchange (single simultaneous step
+// through the global switches). The system layer executes phases in
+// simulated time; this package also provides untimed, data-carrying
+// executors that the tests use to prove each schedule computes the right
+// answer (sums for reduce flavors, full placement for gathers and
+// all-to-all).
+package collectives
+
+import (
+	"fmt"
+
+	"astrasim/internal/config"
+	"astrasim/internal/topology"
+)
+
+// Op identifies a collective operation (paper Fig. 4).
+type Op int
+
+const (
+	// None means the layer performs no communication in that pass.
+	None Op = iota
+	// ReduceScatter leaves each node with one globally reduced 1/N slice.
+	ReduceScatter
+	// AllGather leaves each node with every node's slice.
+	AllGather
+	// AllReduce is a reduce-scatter followed by an all-gather.
+	AllReduce
+	// AllToAll transposes per-destination blocks across all nodes.
+	AllToAll
+)
+
+func (o Op) String() string {
+	switch o {
+	case None:
+		return "NONE"
+	case ReduceScatter:
+		return "REDUCESCATTER"
+	case AllGather:
+		return "ALLGATHER"
+	case AllReduce:
+		return "ALLREDUCE"
+	case AllToAll:
+		return "ALLTOALL"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// ParseOp converts a workload-file token to an Op.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "NONE":
+		return None, nil
+	case "REDUCESCATTER":
+		return ReduceScatter, nil
+	case "ALLGATHER":
+		return AllGather, nil
+	case "ALLREDUCE":
+		return AllReduce, nil
+	case "ALLTOALL":
+		return AllToAll, nil
+	}
+	return 0, fmt.Errorf("collectives: unknown op %q", s)
+}
+
+// Phase is one dimension-phase of a compiled collective. The phase
+// operates on D = Scale * chunkBytes bytes per node.
+type Phase struct {
+	// Dim is the topology dimension the phase runs on.
+	Dim topology.Dim
+	// Op is the operation performed within the dimension.
+	Op Op
+	// Direct marks a single-step exchange through global switches; false
+	// means an (N-1)-step ring algorithm.
+	Direct bool
+	// Size is the dimension group size N.
+	Size int
+	// Scale is the fraction of the chunk this phase operates on. The
+	// enhanced algorithm shrinks inter-package phases to 1/M after the
+	// local reduce-scatter.
+	Scale float64
+}
+
+// NumSteps returns how many dependent communication steps the phase takes
+// per node. Ring RS/AG/A2A take N-1 steps; ring AR takes 2(N-1) (RS then
+// AG); a direct RS/AG/A2A is one simultaneous step and direct AR is two.
+func (p Phase) NumSteps() int {
+	if p.Size <= 1 {
+		return 0
+	}
+	if p.Direct {
+		if p.Op == AllReduce {
+			return 2
+		}
+		return 1
+	}
+	if p.Op == AllReduce {
+		return 2 * (p.Size - 1)
+	}
+	return p.Size - 1
+}
+
+// MessagesPerStep returns how many messages each node sends in one step:
+// one ring neighbor message, or N-1 direct peer messages.
+func (p Phase) MessagesPerStep() int {
+	if p.Direct {
+		return p.Size - 1
+	}
+	return 1
+}
+
+// StepBytes returns the per-message size at the given step for a chunk of
+// chunkBytes. Ring RS/AG/AR messages are D/N. Ring all-to-all relays
+// shrink: step s (0-based) moves D*(N-1-s)/N in one message (§III-B: after
+// each relay hop one block has reached its destination). Direct exchanges
+// send D/N to every peer.
+func (p Phase) StepBytes(step int, chunkBytes int64) int64 {
+	if p.Size <= 1 {
+		return 0
+	}
+	d := p.Scale * float64(chunkBytes)
+	n := float64(p.Size)
+	var b float64
+	if !p.Direct && p.Op == AllToAll {
+		b = d * (n - 1 - float64(step)) / n
+	} else {
+		b = d / n
+	}
+	bytes := int64(b)
+	if bytes < 1 {
+		bytes = 1 // never emit zero-byte messages
+	}
+	return bytes
+}
+
+// ReduceAtStep reports whether a node locally reduces incoming data at the
+// given step (used by the data-carrying executors and by tests).
+func (p Phase) ReduceAtStep(step int) bool {
+	switch p.Op {
+	case ReduceScatter:
+		return true
+	case AllReduce:
+		if p.Direct {
+			return step == 0
+		}
+		return step < p.Size-1 // the RS half of the ring all-reduce
+	}
+	return false
+}
+
+// TotalBytesPerNode returns the total bytes one node transmits during the
+// phase for a chunk of chunkBytes (the paper's Fig. 10 accounting).
+func (p Phase) TotalBytesPerNode(chunkBytes int64) int64 {
+	var total int64
+	for s := 0; s < p.NumSteps(); s++ {
+		total += p.StepBytes(s, chunkBytes) * int64(p.MessagesPerStep())
+	}
+	return total
+}
+
+func (p Phase) String() string {
+	kind := "ring"
+	if p.Direct {
+		kind = "direct"
+	}
+	return fmt.Sprintf("%s %s(%d)x%.3g on %s", kind, p.Op, p.Size, p.Scale, p.Dim)
+}
+
+// Compile lowers a collective over a topology into its phase list,
+// following §III-D:
+//
+//   - AllReduce, Baseline: a full all-reduce on every dimension in
+//     hierarchical order (local, vertical, horizontal / local, package).
+//   - AllReduce, Enhanced: reduce-scatter on the local dimension,
+//     all-reduce on each inter-package dimension over the 1/M-scaled data,
+//     and a final local all-gather (the "four-phase" algorithm).
+//   - AllToAll: a full-size all-to-all on every dimension; each phase also
+//     carries the data that will be routed onward in later phases, so
+//     every phase moves the whole chunk.
+//   - ReduceScatter: per-dimension reduce-scatter with telescoping scale
+//     (after a dimension of size n, each node is left with 1/n of its
+//     data).
+//   - AllGather: the mirror image, growing through dimensions in reverse
+//     hierarchical order.
+//
+// Dimensions of size one contribute no phases.
+func Compile(op Op, topo topology.Topology, alg config.Algorithm) ([]Phase, error) {
+	return CompileScoped(op, topo, alg, nil)
+}
+
+// CompileScoped compiles a collective restricted to a subset of the
+// topology's dimensions — sub-group collectives. Hybrid parallelism needs
+// exactly this (§III-A: "the nodes within a data-parallel/model-parallel
+// group in the hybrid-parallel have the same communication pattern as the
+// data-parallel/model-parallel schemes"): e.g. an activation all-gather
+// scoped to the model-parallel vertical dimension runs independently
+// within every vertical ring, while weight gradients all-reduce over the
+// local+horizontal data-parallel dimensions. A nil scope means every
+// dimension (a global collective).
+func CompileScoped(op Op, topo topology.Topology, alg config.Algorithm, scope []topology.Dim) ([]Phase, error) {
+	dims := activeDims(topo)
+	if scope != nil {
+		keep := make(map[topology.Dim]bool, len(scope))
+		for _, d := range scope {
+			keep[d] = true
+		}
+		filtered := dims[:0:0]
+		for _, d := range dims {
+			if keep[d.Dim] {
+				filtered = append(filtered, d)
+			}
+		}
+		dims = filtered
+		if len(dims) == 0 {
+			return nil, fmt.Errorf("collectives: scope %v selects no active dimensions of %s", scope, topo.Name())
+		}
+	}
+	switch op {
+	case AllReduce:
+		if alg == Enhanced() && len(dims) >= 2 && dims[0].Dim == topology.DimLocal {
+			return enhancedAllReduce(dims), nil
+		}
+		phases := make([]Phase, 0, len(dims))
+		for _, d := range dims {
+			phases = append(phases, Phase{Dim: d.Dim, Op: AllReduce, Direct: d.Direct, Size: d.Size, Scale: 1})
+		}
+		return phases, nil
+	case AllToAll:
+		phases := make([]Phase, 0, len(dims))
+		for _, d := range dims {
+			phases = append(phases, Phase{Dim: d.Dim, Op: AllToAll, Direct: d.Direct, Size: d.Size, Scale: 1})
+		}
+		return phases, nil
+	case ReduceScatter:
+		phases := make([]Phase, 0, len(dims))
+		scale := 1.0
+		for _, d := range dims {
+			phases = append(phases, Phase{Dim: d.Dim, Op: ReduceScatter, Direct: d.Direct, Size: d.Size, Scale: scale})
+			scale /= float64(d.Size)
+		}
+		return phases, nil
+	case AllGather:
+		phases := make([]Phase, 0, len(dims))
+		scale := 1.0
+		for _, d := range dims {
+			scale /= float64(d.Size)
+		}
+		for i := len(dims) - 1; i >= 0; i-- {
+			d := dims[i]
+			scale *= float64(d.Size)
+			phases = append(phases, Phase{Dim: d.Dim, Op: AllGather, Direct: d.Direct, Size: d.Size, Scale: scale})
+		}
+		return phases, nil
+	case None:
+		return nil, nil
+	}
+	return nil, fmt.Errorf("collectives: cannot compile op %v", op)
+}
+
+// Enhanced returns config.Enhanced; a tiny indirection so this file reads
+// without the import at every use site.
+func Enhanced() config.Algorithm { return config.Enhanced }
+
+// activeDims filters out size-1 dimensions (e.g. the local dimension of a
+// 1x8x1 system).
+func activeDims(topo topology.Topology) []topology.DimInfo {
+	var out []topology.DimInfo
+	for _, d := range topo.Dims() {
+		if d.Size > 1 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// enhancedAllReduce builds the 4-phase algorithm: local RS, inter-package
+// ARs on 1/M data, local AG.
+func enhancedAllReduce(dims []topology.DimInfo) []Phase {
+	local := dims[0]
+	m := float64(local.Size)
+	phases := []Phase{
+		{Dim: local.Dim, Op: ReduceScatter, Direct: local.Direct, Size: local.Size, Scale: 1},
+	}
+	for _, d := range dims[1:] {
+		phases = append(phases, Phase{Dim: d.Dim, Op: AllReduce, Direct: d.Direct, Size: d.Size, Scale: 1 / m})
+	}
+	phases = append(phases, Phase{Dim: local.Dim, Op: AllGather, Direct: local.Direct, Size: local.Size, Scale: 1})
+	return phases
+}
+
+// TotalCollectiveBytesPerNode sums per-node transmitted bytes across all
+// phases for a full set of setBytes (analysis helper mirroring the
+// paper's "(126/64)N vs (28/8)N" arithmetic in §V-B).
+func TotalCollectiveBytesPerNode(phases []Phase, setBytes int64) int64 {
+	var total int64
+	for _, p := range phases {
+		total += p.TotalBytesPerNode(setBytes)
+	}
+	return total
+}

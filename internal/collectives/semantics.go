@@ -1,0 +1,168 @@
+package collectives
+
+import (
+	"fmt"
+
+	"astrasim/internal/topology"
+)
+
+// DataState is one node's view of a chunk during a reduce-flavored
+// collective: the contiguous element range it currently holds and the
+// (partially reduced) values of that range.
+type DataState struct {
+	Lo, Hi int
+	Vals   []float64
+}
+
+// clone returns a deep copy.
+func (s DataState) clone() DataState {
+	v := make([]float64, len(s.Vals))
+	copy(v, s.Vals)
+	return DataState{Lo: s.Lo, Hi: s.Hi, Vals: v}
+}
+
+// ExecuteData runs a compiled phase list over real data, group by group,
+// and returns the final per-node states. initial[i] is node i's starting
+// vector; all vectors must have equal length divisible by every group size
+// encountered. This is the untimed reference executor used to prove that
+// the schedules the timed system layer executes compute the right answer.
+func ExecuteData(phases []Phase, topo topology.Topology, initial [][]float64) ([]DataState, error) {
+	n := topo.NumNPUs()
+	if len(initial) != n {
+		return nil, fmt.Errorf("collectives: %d initial vectors for %d NPUs", len(initial), n)
+	}
+	states := make([]DataState, n)
+	for i, v := range initial {
+		if len(v) != len(initial[0]) {
+			return nil, fmt.Errorf("collectives: initial vectors have unequal lengths")
+		}
+		states[i] = DataState{Lo: 0, Hi: len(v), Vals: append([]float64(nil), v...)}
+	}
+	for pi, p := range phases {
+		if p.Size <= 1 {
+			continue
+		}
+		if err := executePhaseData(p, topo, states); err != nil {
+			return nil, fmt.Errorf("collectives: phase %d (%v): %w", pi, p, err)
+		}
+	}
+	return states, nil
+}
+
+// executePhaseData applies one phase to every dimension group.
+func executePhaseData(p Phase, topo topology.Topology, states []DataState) error {
+	seen := make(map[topology.Node]bool)
+	for i := 0; i < topo.NumNPUs(); i++ {
+		group := topo.Group(p.Dim, topology.Node(i))
+		if seen[group[0]] {
+			continue
+		}
+		seen[group[0]] = true
+		if len(group) != p.Size {
+			return fmt.Errorf("group size %d != phase size %d", len(group), p.Size)
+		}
+		if err := applyGroupOp(p.Op, group, states); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func applyGroupOp(op Op, group []topology.Node, states []DataState) error {
+	n := len(group)
+	first := states[group[0]]
+	switch op {
+	case ReduceScatter:
+		// All members must hold the same range; member at rank r keeps
+		// the globally reduced r-th block.
+		span := first.Hi - first.Lo
+		if span%n != 0 {
+			return fmt.Errorf("range %d not divisible by group size %d", span, n)
+		}
+		block := span / n
+		for _, g := range group {
+			if states[g].Lo != first.Lo || states[g].Hi != first.Hi {
+				return fmt.Errorf("reduce-scatter over misaligned ranges")
+			}
+		}
+		sums := make([]float64, span)
+		for _, g := range group {
+			for k, v := range states[g].Vals {
+				sums[k] += v
+			}
+		}
+		for r, g := range group {
+			lo := first.Lo + r*block
+			states[g] = DataState{Lo: lo, Hi: lo + block,
+				Vals: append([]float64(nil), sums[r*block:(r+1)*block]...)}
+		}
+	case AllGather:
+		// Member ranges must partition a contiguous parent range in rank
+		// order; everyone ends with the parent range.
+		parentLo, parentHi := states[group[0]].Lo, states[group[n-1]].Hi
+		var gathered []float64
+		expect := parentLo
+		for _, g := range group {
+			if states[g].Lo != expect {
+				return fmt.Errorf("all-gather over non-partitioning ranges (node %d at %d, expected %d)",
+					g, states[g].Lo, expect)
+			}
+			gathered = append(gathered, states[g].Vals...)
+			expect = states[g].Hi
+		}
+		for _, g := range group {
+			states[g] = DataState{Lo: parentLo, Hi: parentHi,
+				Vals: append([]float64(nil), gathered...)}
+		}
+	case AllReduce:
+		span := first.Hi - first.Lo
+		sums := make([]float64, span)
+		for _, g := range group {
+			if states[g].Lo != first.Lo || states[g].Hi != first.Hi {
+				return fmt.Errorf("all-reduce over misaligned ranges")
+			}
+			for k, v := range states[g].Vals {
+				sums[k] += v
+			}
+		}
+		for _, g := range group {
+			states[g] = DataState{Lo: first.Lo, Hi: first.Hi,
+				Vals: append([]float64(nil), sums...)}
+		}
+	default:
+		return fmt.Errorf("unsupported group op %v", op)
+	}
+	return nil
+}
+
+// RouteAllToAll traces where a block travelling from src to dst sits after
+// each phase of a multi-phase all-to-all: each phase aligns the block's
+// coordinate along its dimension with dst's (paper §III-D — every step
+// also carries the data that later phases will route onward). The returned
+// slice has one node per phase; the last entry must be dst for a correct
+// phase list.
+func RouteAllToAll(phases []Phase, topo topology.Topology, src, dst topology.Node) []topology.Node {
+	cur := src
+	var hops []topology.Node
+	for _, p := range phases {
+		if p.Size <= 1 {
+			hops = append(hops, cur)
+			continue
+		}
+		group := topo.Group(p.Dim, cur)
+		dstGroup := topo.Group(p.Dim, dst)
+		rank := -1
+		for r, g := range dstGroup {
+			if g == dst {
+				rank = r
+				break
+			}
+		}
+		if rank < 0 {
+			panic("collectives: dst not in its own group")
+		}
+		cur = group[rank]
+		hops = append(hops, cur)
+	}
+	return hops
+}

@@ -1,0 +1,134 @@
+// Package compute is the analytical DNN accelerator model feeding the
+// workload layer (the green box of paper Fig. 6). It reproduces the class
+// of model the authors used: an analytical simulator of a 256x256 TPU-like
+// systolic array computing GEMM delays, with additional parameterized
+// delays for the non-GEMM parts of each layer and stalls due to limited
+// DRAM bandwidth (paper §IV-A).
+package compute
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GEMM describes one matrix multiplication C[MxN] = A[MxK] x B[KxN].
+type GEMM struct {
+	M, K, N int
+}
+
+// FLOPs returns the multiply-accumulate count times two.
+func (g GEMM) FLOPs() int64 { return 2 * int64(g.M) * int64(g.K) * int64(g.N) }
+
+func (g GEMM) String() string { return fmt.Sprintf("%dx%dx%d", g.M, g.K, g.N) }
+
+// Model is the analytical accelerator. The zero value is not usable; use
+// Default or fill every field.
+type Model struct {
+	// ArrayRows x ArrayCols is the systolic array geometry (256x256 in
+	// Table IV's "256x256 TPU-like" compute accelerator).
+	ArrayRows, ArrayCols int
+	// ElemBytes is the datatype width (2 for fp16/bf16 training).
+	ElemBytes int
+	// DRAMBandwidth is the HBM bandwidth in bytes per cycle (= GB/s at
+	// the 1 GHz clock). GEMMs whose operand traffic exceeds what DRAM
+	// can stream during the compute time stall to the memory bound.
+	DRAMBandwidth float64
+	// LayerOverhead is the parameterized per-layer delay (cycles) for
+	// the non-GEMM computations (activations, batch-norm, pooling, ...).
+	LayerOverhead uint64
+	// Scale multiplies compute throughput; 1 is the baseline NPU, 4 a 4x
+	// faster future NPU (paper Fig. 18). Cycles divide by Scale.
+	Scale float64
+}
+
+// Default returns the paper-calibrated model: a 256x256 array computing
+// bf16 GEMMs at near-full utilization (the paper used SIGMA, whose
+// flexible interconnect delivers exactly that), a small parameterized
+// per-layer overhead for the non-GEMM computations, and HBM bandwidth
+// sized for a future NPU package (2 TB/s) so that, as in the paper's
+// analytical model, GEMM delay rather than memory streaming dominates.
+func Default() Model {
+	return Model{
+		ArrayRows:     256,
+		ArrayCols:     256,
+		ElemBytes:     2,
+		DRAMBandwidth: 2000,
+		LayerOverhead: 2000,
+		Scale:         1,
+	}
+}
+
+// Validate reports the first invalid field.
+func (m Model) Validate() error {
+	switch {
+	case m.ArrayRows <= 0 || m.ArrayCols <= 0:
+		return errors.New("compute: array dimensions must be positive")
+	case m.ElemBytes <= 0:
+		return errors.New("compute: ElemBytes must be positive")
+	case m.DRAMBandwidth <= 0:
+		return errors.New("compute: DRAMBandwidth must be positive")
+	case m.Scale <= 0:
+		return errors.New("compute: Scale must be positive")
+	}
+	return nil
+}
+
+// ceilDiv returns ceil(a/b) for positive ints.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// GEMMCycles returns the cycle count for one GEMM. The paper's compute
+// model is SIGMA (Qin et al., HPCA 2020), a flexible-interconnect
+// 256x256 accelerator whose defining property is near-full PE utilization
+// on irregular GEMM shapes; accordingly the streaming time is the ideal
+// MAC count over the array's MACs/cycle, plus one pipeline fill/drain
+// (rows + cols - 2 cycles). The result is then floored at the DRAM
+// streaming time for the operand and result traffic, modeling
+// bandwidth-bound layers.
+func (m Model) GEMMCycles(g GEMM) uint64 {
+	if g.M <= 0 || g.K <= 0 || g.N <= 0 {
+		return 0
+	}
+	opBytes := (int64(g.M)*int64(g.K) + int64(g.K)*int64(g.N) + int64(g.M)*int64(g.N)) * int64(m.ElemBytes)
+	return m.GEMMCyclesWithTraffic(g, opBytes)
+}
+
+// GEMMCyclesWithTraffic is GEMMCycles with an explicit DRAM traffic
+// figure. Convolution layers lowered through im2col should pass the
+// underlying tensor sizes here: the expanded A matrix duplicates each
+// input element k^2 times, but only the original activation streams from
+// memory.
+func (m Model) GEMMCyclesWithTraffic(g GEMM, trafficBytes int64) uint64 {
+	if g.M <= 0 || g.K <= 0 || g.N <= 0 {
+		return 0
+	}
+	macs := int64(g.M) * int64(g.K) * int64(g.N)
+	pes := int64(m.ArrayRows) * int64(m.ArrayCols)
+	cycles := float64(int64(m.ArrayRows+m.ArrayCols-2) + (macs+pes-1)/pes)
+	// DRAM bound: each operand streams from memory once (on-chip
+	// buffers hold the reused tiles) and the result writes back once.
+	if dramCycles := float64(trafficBytes) / m.DRAMBandwidth; dramCycles > cycles {
+		cycles = dramCycles
+	}
+	return uint64(cycles / m.Scale)
+}
+
+// LayerCycles returns the cycles for a full layer pass built from one or
+// more GEMMs plus the parameterized non-GEMM overhead.
+func (m Model) LayerCycles(gemms ...GEMM) uint64 {
+	var total uint64
+	for _, g := range gemms {
+		total += m.GEMMCycles(g)
+	}
+	return total + uint64(float64(m.LayerOverhead)/m.Scale)
+}
+
+// TrainingGEMMs derives the three training-pass GEMMs from the forward
+// GEMM of a layer (paper §II): the forward pass computes Y[MxN] =
+// X[MxK] W[KxN]; the input-gradient pass computes dX = dY W^T (MxNxK);
+// the weight-gradient pass computes dW = X^T dY (KxMxN).
+func TrainingGEMMs(fwd GEMM) (forward, inputGrad, weightGrad GEMM) {
+	forward = fwd
+	inputGrad = GEMM{M: fwd.M, K: fwd.N, N: fwd.K}
+	weightGrad = GEMM{M: fwd.K, K: fwd.M, N: fwd.N}
+	return forward, inputGrad, weightGrad
+}

@@ -1,0 +1,128 @@
+package compute
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGEMMCyclesSmall(t *testing.T) {
+	m := Default()
+	// One tile: fill/drain 510 + K=256 streaming = 766 cycles
+	// (compute-bound: DRAM needs (2*65536 + 65536)*2 / 900 = 437 cycles).
+	got := m.GEMMCycles(GEMM{M: 256, K: 256, N: 256})
+	if got != 766 {
+		t.Errorf("256^3 GEMM = %d cycles, want 766", got)
+	}
+}
+
+func TestGEMMCyclesTiling(t *testing.T) {
+	m := Default()
+	// 4 pipelined tiles: one fill/drain + 4*K streaming.
+	got := m.GEMMCycles(GEMM{M: 512, K: 512, N: 512})
+	if want := uint64(510 + 4*512); got != want {
+		t.Errorf("512x512x512 = %d, want %d (pipelined tiles)", got, want)
+	}
+	// Pipelining: 4 tiles cost less than 4x one tile.
+	one := m.GEMMCycles(GEMM{M: 256, K: 512, N: 256})
+	if got >= 4*one {
+		t.Errorf("tiled GEMM %d not pipelined vs 4x%d", got, one)
+	}
+}
+
+func TestGEMMCyclesDRAMBound(t *testing.T) {
+	m := Default()
+	m.DRAMBandwidth = 1 // 1 B/cycle: everything memory-bound
+	g := GEMM{M: 256, K: 256, N: 256}
+	got := m.GEMMCycles(g)
+	want := uint64((256*256 + 256*256 + 256*256) * 2) // bytes / 1 B per cycle
+	if got != want {
+		t.Errorf("DRAM-bound GEMM = %d cycles, want %d", got, want)
+	}
+}
+
+func TestScaleSpeedsCompute(t *testing.T) {
+	m := Default()
+	base := m.GEMMCycles(GEMM{M: 1024, K: 1024, N: 1024})
+	m.Scale = 4
+	fast := m.GEMMCycles(GEMM{M: 1024, K: 1024, N: 1024})
+	if fast < base/5 || fast > base/3 {
+		t.Errorf("4x scale: %d vs base %d, want ~base/4", fast, base)
+	}
+	m.Scale = 0.5
+	slow := m.GEMMCycles(GEMM{M: 1024, K: 1024, N: 1024})
+	if slow < base*19/10 || slow > base*21/10 {
+		t.Errorf("0.5x scale: %d vs base %d, want ~2x base", slow, base)
+	}
+}
+
+func TestLayerCyclesIncludesOverhead(t *testing.T) {
+	m := Default()
+	g := GEMM{M: 256, K: 256, N: 256}
+	if got := m.LayerCycles(g); got != m.GEMMCycles(g)+m.LayerOverhead {
+		t.Errorf("LayerCycles = %d, want GEMM + overhead", got)
+	}
+	if got := m.LayerCycles(g, g); got != 2*m.GEMMCycles(g)+m.LayerOverhead {
+		t.Errorf("two-GEMM layer = %d, want 2*GEMM + overhead", got)
+	}
+}
+
+func TestTrainingGEMMs(t *testing.T) {
+	f, ig, wg := TrainingGEMMs(GEMM{M: 100, K: 200, N: 300})
+	if f != (GEMM{100, 200, 300}) {
+		t.Errorf("forward = %v", f)
+	}
+	if ig != (GEMM{100, 300, 200}) {
+		t.Errorf("input grad = %v, want dY[100x300] x W^T[300x200]", ig)
+	}
+	if wg != (GEMM{200, 100, 300}) {
+		t.Errorf("weight grad = %v, want X^T[200x100] x dY[100x300]", wg)
+	}
+	// All three passes have identical FLOP counts.
+	if f.FLOPs() != ig.FLOPs() || f.FLOPs() != wg.FLOPs() {
+		t.Error("training GEMMs should have equal FLOPs")
+	}
+}
+
+func TestZeroGEMMIsFree(t *testing.T) {
+	m := Default()
+	if got := m.GEMMCycles(GEMM{}); got != 0 {
+		t.Errorf("empty GEMM = %d cycles, want 0", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Default()
+	if err := good.Validate(); err != nil {
+		t.Errorf("default model invalid: %v", err)
+	}
+	bad := Default()
+	bad.Scale = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero scale")
+	}
+	bad = Default()
+	bad.DRAMBandwidth = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for negative DRAM bandwidth")
+	}
+}
+
+// Property: cycles are monotonic in each GEMM dimension.
+func TestPropertyMonotonicCycles(t *testing.T) {
+	m := Default()
+	f := func(a, b, c uint16) bool {
+		g := GEMM{M: int(a%2048) + 1, K: int(b%2048) + 1, N: int(c%2048) + 1}
+		base := m.GEMMCycles(g)
+		bigger := g
+		bigger.K += 256
+		if m.GEMMCycles(bigger) < base {
+			return false
+		}
+		bigger = g
+		bigger.M += 256
+		return m.GEMMCycles(bigger) >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package eventq implements the deterministic discrete-event engine that
+// drives every layer of the simulator (workload, system, and network).
+//
+// ASTRA-SIM uses an event-driven execution model: the system layer owns a
+// single event queue and exposes it upward to the workload layer and
+// downward to the network layer. Time is measured in integer cycles
+// (1 cycle = 1 ns at the default 1 GHz clock). Events scheduled for the
+// same cycle fire in insertion order, which makes every simulation run
+// bit-reproducible.
+package eventq
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in cycles.
+type Time uint64
+
+// Handler is the callback invoked when an event fires. It runs at the
+// event's scheduled time; Engine.Now reports that time during the call.
+type Handler func()
+
+type event struct {
+	at      Time
+	seq     uint64 // tie-breaker: insertion order within the same cycle
+	handler Handler
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is ready to
+// use. Engine is not safe for concurrent use; the whole simulator is
+// single-threaded by design so that runs are deterministic.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	stopped bool
+}
+
+// New returns a fresh engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired reports how many events have been executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule enqueues h to fire delay cycles from now.
+func (e *Engine) Schedule(delay Time, h Handler) {
+	e.At(e.now+delay, h)
+}
+
+// At enqueues h to fire at absolute time at. Scheduling in the past is a
+// programming error and panics: it would silently corrupt causality.
+func (e *Engine) At(at Time, h Handler) {
+	if h == nil {
+		panic("eventq: nil handler")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("eventq: scheduling into the past (at=%d now=%d)", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, handler: h})
+}
+
+// Step fires the single earliest event and reports whether one fired.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.fired++
+	ev.handler()
+	return true
+}
+
+// Run fires events until the queue is empty or Stop is called, and returns
+// the final simulation time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps <= deadline. Events scheduled later
+// remain queued. It returns the current time afterwards.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Stop makes the current Run/RunUntil return after the in-flight handler
+// completes. Pending events stay queued.
+func (e *Engine) Stop() { e.stopped = true }

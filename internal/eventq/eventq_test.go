@@ -1,0 +1,235 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var e Engine
+	ran := false
+	e.Schedule(5, func() { ran = true })
+	if got := e.Run(); got != 5 {
+		t.Fatalf("Run returned %d, want 5", got)
+	}
+	if !ran {
+		t.Fatal("handler did not run")
+	}
+}
+
+func TestOrderingByTime(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events fired out of insertion order: order[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestNowDuringHandler(t *testing.T) {
+	e := New()
+	var seen []Time
+	e.Schedule(4, func() { seen = append(seen, e.Now()) })
+	e.Schedule(9, func() { seen = append(seen, e.Now()) })
+	e.Run()
+	if seen[0] != 4 || seen[1] != 9 {
+		t.Fatalf("Now() inside handlers = %v, want [4 9]", seen)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var hits []Time
+	var chain func()
+	chain = func() {
+		hits = append(hits, e.Now())
+		if len(hits) < 5 {
+			e.Schedule(10, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	end := e.Run()
+	if end != 40 {
+		t.Fatalf("end time = %d, want 40", end)
+	}
+	for i, h := range hits {
+		if h != Time(i*10) {
+			t.Fatalf("hits[%d] = %d, want %d", i, h, i*10)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic when scheduling into the past")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for nil handler")
+		}
+	}()
+	New().Schedule(1, nil)
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d after Stop, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending = %d, want 7", e.Pending())
+	}
+	// Run can resume where it left off.
+	e.Run()
+	if count != 10 {
+		t.Fatalf("count after resume = %d, want 10", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 10 {
+		t.Fatalf("fired = %v, want [5 10]", fired)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("Now = %d, want 12 (advanced to deadline)", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after Run fired = %v, want all 4", fired)
+	}
+}
+
+func TestRunUntilExactBoundary(t *testing.T) {
+	e := New()
+	hit := false
+	e.At(10, func() { hit = true })
+	e.RunUntil(10)
+	if !hit {
+		t.Fatal("event at exactly the deadline should fire")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 42; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 42 {
+		t.Fatalf("Fired = %d, want 42", e.Fired())
+	}
+}
+
+// Property: for any set of timestamps, events fire in nondecreasing time
+// order and all fire exactly once.
+func TestPropertyMonotonicFiring(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var fired []Time
+		for _, d := range delays {
+			d := Time(d)
+			e.Schedule(d, func() { fired = append(fired, d) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		// Multiset equality with the input.
+		want := make([]Time, len(delays))
+		for i, d := range delays {
+			want[i] = Time(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if want[i] != fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: determinism — two identical runs produce identical firing orders.
+func TestPropertyDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var order []int
+		for i := 0; i < 500; i++ {
+			i := i
+			e.Schedule(Time(rng.Intn(50)), func() { order = append(order, i) })
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j%97), func() {})
+		}
+		e.Run()
+	}
+}

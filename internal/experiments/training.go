@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"astrasim/internal/compute"
+	"astrasim/internal/config"
+	"astrasim/internal/models"
+	"astrasim/internal/report"
+	"astrasim/internal/system"
+	"astrasim/internal/topology"
+	"astrasim/internal/workload"
+)
+
+// runTraining simulates a workload on an MxNxK torus with the enhanced
+// collective algorithm and Table IV network parameters.
+func runTraining(def workload.Definition, shape [3]int, policy config.SchedulingPolicy, passes, pktCap int) (workload.Result, error) {
+	tp, cfg, err := torusSystem(shape[0], shape[1], shape[2], topology.DefaultTorusConfig(), config.Enhanced)
+	if err != nil {
+		return workload.Result{}, err
+	}
+	cfg.SchedulingPolicy = policy
+	inst, err := system.NewInstance(tp, cfg, asymmetricNet(pktCap))
+	if err != nil {
+		return workload.Result{}, err
+	}
+	tr, err := workload.NewTrainer(inst, def, passes)
+	if err != nil {
+		return workload.Result{}, err
+	}
+	return tr.Run()
+}
+
+// resnetCache memoizes ResNet-50 runs shared by Figs. 14, 15 and 16
+// (single-threaded simulator; no locking needed).
+var resnetCache = map[string]workload.Result{}
+
+func resnetRun(o Options, shape [3]int, policy config.SchedulingPolicy, scale float64) (workload.Result, error) {
+	scale *= o.TrainComputeScale
+	key := fmt.Sprintf("%v/%v/%d/%d/%d/%g", shape, policy, o.Passes, o.Batch, o.TrainingPktCap, scale)
+	if res, ok := resnetCache[key]; ok {
+		return res, nil
+	}
+	def := models.ResNet50(compute.Default(), o.Batch)
+	if scale != 1 {
+		def = def.ScaleCompute(scale)
+	}
+	res, err := runTraining(def, shape, policy, o.Passes, o.TrainingPktCap)
+	if err != nil {
+		return workload.Result{}, err
+	}
+	resnetCache[key] = res
+	return res, nil
+}
+
+// Fig13 reports the Transformer's layer-wise raw communication time for
+// two hybrid-parallel training iterations on a 2x2x2 torus (§V-E).
+func Fig13(o Options) ([]*report.Table, error) {
+	def := models.Transformer(compute.Default(), o.Batch, o.SeqLen).ScaleCompute(o.TrainComputeScale)
+	res, err := runTraining(def, [3]int{2, 2, 2}, config.LIFO, o.Passes, o.TrainingPktCap)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("fig13",
+		fmt.Sprintf("Transformer layer-wise raw communication time, %d iterations, 2x2x2 torus, hybrid-parallel (cycles)", res.Passes),
+		"layer", "fwd(activations)", "input-grad", "weight-grad", "total")
+	for _, l := range res.Layers {
+		t.AddRow(l.Name,
+			report.Int(int64(l.FwdCommCycles)), report.Int(int64(l.IGCommCycles)),
+			report.Int(int64(l.WGCommCycles)), report.Int(int64(l.TotalCommCycles())))
+	}
+	return []*report.Table{t}, nil
+}
+
+// Fig14 reports ResNet-50's layer-wise raw communication time for two
+// data-parallel iterations on a 2x4x4 torus (§V-E): only weight gradients
+// are communicated.
+func Fig14(o Options) ([]*report.Table, error) {
+	res, err := resnetRun(o, [3]int{2, 4, 4}, config.LIFO, 1)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("fig14",
+		fmt.Sprintf("ResNet-50 layer-wise raw communication time, %d iterations, 2x4x4 torus, data-parallel (cycles)", res.Passes),
+		"layer", "weight-grad-comm")
+	for _, l := range res.Layers {
+		t.AddRow(l.Name, report.Int(int64(l.WGCommCycles)))
+	}
+	return []*report.Table{t}, nil
+}
+
+// Fig15 reports ResNet-50's layer-wise compute time, raw communication
+// time, and exposed (non-overlapped) communication time (§V-F).
+func Fig15(o Options) ([]*report.Table, error) {
+	res, err := resnetRun(o, [3]int{2, 4, 4}, config.LIFO, 1)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("fig15",
+		"ResNet-50 layer-wise compute, raw comm, and exposed comm (cycles, 2x4x4 torus)",
+		"layer", "compute", "comm", "exposed")
+	for _, l := range res.Layers {
+		t.AddRow(l.Name,
+			report.Int(int64(l.ComputeCycles)),
+			report.Int(int64(l.TotalCommCycles())),
+			report.Int(int64(l.ExposedCycles)))
+	}
+	return []*report.Table{t}, nil
+}
+
+// Fig16 reports ResNet-50's layer-wise queue/network delay breakdown for
+// both LIFO and FIFO scheduling (§V-F: the two behave nearly identically
+// because the fast local dimension enforces in-order chunk execution).
+func Fig16(o Options) ([]*report.Table, error) {
+	var tables []*report.Table
+	for _, policy := range []config.SchedulingPolicy{config.LIFO, config.FIFO} {
+		res, err := resnetRun(o, [3]int{2, 4, 4}, policy, 1)
+		if err != nil {
+			return nil, err
+		}
+		t := report.New("fig16-"+policy.String(),
+			fmt.Sprintf("ResNet-50 layer-wise delay breakdown, %s scheduling (avg cycles per chunk)", policy),
+			"layer",
+			"QueueP0", "QueueP1", "QueueP2", "QueueP3", "QueueP4",
+			"NetP1", "NetP2", "NetP3", "NetP4")
+		for _, l := range res.Layers {
+			row := []string{l.Name}
+			for p := 0; p <= 4; p++ {
+				row = append(row, report.Float(avgHandleStat(l.WGHandles, p, true)))
+			}
+			for p := 1; p <= 4; p++ {
+				row = append(row, report.Float(avgHandleStat(l.WGHandles, p, false)))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// avgHandleStat averages a per-phase queue or network delay across a
+// layer's collective handles.
+func avgHandleStat(handles []*system.Handle, phase int, queue bool) float64 {
+	if len(handles) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, h := range handles {
+		if queue {
+			sum += h.AvgQueueDelay(phase)
+		} else {
+			sum += h.AvgNetworkDelay(phase)
+		}
+	}
+	return sum / float64(len(handles))
+}
+
+// Fig17 reports ResNet-50's compute vs exposed-communication ratio as the
+// torus grows from 8 to 128 NPUs (§V-F: 4.1% exposed at 8 NPUs rising to
+// 25.2% at 128).
+func Fig17(o Options) ([]*report.Table, error) {
+	t := report.New("fig17",
+		"ResNet-50 compute vs exposed communication ratio across system sizes (2x4x4 torus family)",
+		"topology", "npus", "total-cycles", "compute%", "exposed%")
+	for _, s := range o.Fig17Shapes {
+		res, err := resnetRun(o, s, config.LIFO, 1)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("%dx%dx%d", s[0], s[1], s[2])
+		computeRatio := float64(res.TotalCompute()) / float64(res.TotalCycles)
+		t.AddRow(name, report.Int(int64(s[0]*s[1]*s[2])),
+			report.Int(int64(res.TotalCycles)),
+			report.Percent(computeRatio), report.Percent(res.ExposedRatio()))
+	}
+	return []*report.Table{t}, nil
+}
+
+// Fig18 reports how the exposed-communication ratio changes with NPU
+// compute power on the 2x4x4 system (§V-F: <1% at 0.5x, 63.9% at 4x).
+func Fig18(o Options) ([]*report.Table, error) {
+	t := report.New("fig18",
+		"ResNet-50 exposed communication ratio vs compute power (2x4x4 torus)",
+		"compute-power", "total-cycles", "compute%", "exposed%")
+	for _, scale := range o.Fig18Scales {
+		res, err := resnetRun(o, [3]int{2, 4, 4}, config.LIFO, scale)
+		if err != nil {
+			return nil, err
+		}
+		computeRatio := float64(res.TotalCompute()) / float64(res.TotalCycles)
+		t.AddRow(fmt.Sprintf("%gx", scale),
+			report.Int(int64(res.TotalCycles)),
+			report.Percent(computeRatio), report.Percent(res.ExposedRatio()))
+	}
+	return []*report.Table{t}, nil
+}
+
+// Figure pairs an experiment with its runner.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func(Options) ([]*report.Table, error)
+}
+
+// Figures lists every reproducible figure in paper order.
+func Figures() []Figure {
+	return []Figure{
+		{"fig09", "1D topology: alltoall vs torus", Fig9},
+		{"fig10", "2D/3D torus at 64 packages", Fig10},
+		{"fig11", "Asymmetric hierarchical topology", Fig11},
+		{"fig12", "Scaling the torus 8 to 64 modules", Fig12},
+		{"fig13", "Transformer layer-wise communication", Fig13},
+		{"fig14", "ResNet-50 layer-wise communication", Fig14},
+		{"fig15", "ResNet-50 compute/comm/exposed", Fig15},
+		{"fig16", "ResNet-50 breakdown, LIFO vs FIFO", Fig16},
+		{"fig17", "Exposed communication vs system size", Fig17},
+		{"fig18", "Exposed communication vs compute power", Fig18},
+	}
+}

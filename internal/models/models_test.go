@@ -1,0 +1,245 @@
+package models
+
+import (
+	"bytes"
+	"testing"
+
+	"astrasim/internal/collectives"
+	"astrasim/internal/compute"
+	"astrasim/internal/workload"
+)
+
+func TestResNet50Shape(t *testing.T) {
+	def := ResNet50(compute.Default(), 32)
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if def.Parallelism != workload.DataParallel {
+		t.Errorf("parallelism = %v, want DATA", def.Parallelism)
+	}
+	// conv1 + 16 bottlenecks x 3 + fc = 50 layers.
+	if len(def.Layers) != 50 {
+		t.Fatalf("layers = %d, want 50", len(def.Layers))
+	}
+	// Total parameters ~25.6M (He et al. 2015).
+	var params int64
+	for _, l := range def.Layers {
+		params += l.WGBytes / GradBytes
+	}
+	if params < 25_000_000 || params > 26_500_000 {
+		t.Errorf("total params = %d, want ~25.6M", params)
+	}
+	// Data parallel: no forward or input-gradient communication
+	// (Table I), every layer all-reduces weight gradients.
+	for i, l := range def.Layers {
+		if l.FwdComm != collectives.None || l.IGComm != collectives.None {
+			t.Errorf("layer %d (%s): unexpected fwd/ig comm", i, l.Name)
+		}
+		if l.WGComm != collectives.AllReduce || l.WGBytes <= 0 {
+			t.Errorf("layer %d (%s): missing WG all-reduce", i, l.Name)
+		}
+		if l.FwdCompute == 0 || l.IGCompute == 0 || l.WGCompute == 0 {
+			t.Errorf("layer %d (%s): zero compute", i, l.Name)
+		}
+	}
+}
+
+func TestResNet50LargestGradient(t *testing.T) {
+	def := ResNet50(compute.Default(), 32)
+	var maxBytes int64
+	var name string
+	for _, l := range def.Layers {
+		if l.WGBytes > maxBytes {
+			maxBytes, name = l.WGBytes, l.Name
+		}
+	}
+	// conv5's first 1x1 plus the folded 1024->2048 projection shortcut:
+	// (1024*512 + 1024*2048) * 4 B = 10 MB.
+	if name != "conv5_aa" || maxBytes != (1024*512+1024*2048)*GradBytes {
+		t.Errorf("largest gradient = %s (%d bytes), want conv5_aa at 10 MB", name, maxBytes)
+	}
+	// The classifier all-reduces 2048*1000 weights ~8.2 MB.
+	fc := def.Layers[len(def.Layers)-1]
+	if fc.Name != "fc1000" || fc.WGBytes != (2048*1000+1000)*GradBytes {
+		t.Errorf("fc1000 gradient = %d bytes, want ~8.2MB", fc.WGBytes)
+	}
+}
+
+func TestResNet50BatchScalesCompute(t *testing.T) {
+	m := compute.Default()
+	small := ResNet50(m, 16)
+	big := ResNet50(m, 64)
+	if big.TotalComputeCycles() <= small.TotalComputeCycles() {
+		t.Error("larger batch should cost more compute")
+	}
+	// Gradient sizes are batch independent.
+	for i := range small.Layers {
+		if small.Layers[i].WGBytes != big.Layers[i].WGBytes {
+			t.Errorf("layer %d gradient size depends on batch", i)
+		}
+	}
+}
+
+func TestTransformerShape(t *testing.T) {
+	def := Transformer(compute.Default(), 32, 128)
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if def.Parallelism != workload.HybridParallel {
+		t.Errorf("parallelism = %v, want HYBRID", def.Parallelism)
+	}
+	if len(def.Layers) != 8 {
+		t.Fatalf("layers = %d, want 8 (embedding + 6 encoders + classifier)", len(def.Layers))
+	}
+	// Encoders (1..6) are structurally identical (Fig. 13: "layers 1-6
+	// are the same structurally").
+	for i := 2; i <= 6; i++ {
+		if def.Layers[i] != def.Layers[1] &&
+			(def.Layers[i].FwdBytes != def.Layers[1].FwdBytes ||
+				def.Layers[i].FwdCompute != def.Layers[1].FwdCompute) {
+			t.Errorf("encoder %d differs from encoder 1", i)
+		}
+	}
+	// Hybrid: encoders communicate in all three passes.
+	enc := def.Layers[1]
+	if enc.FwdComm != collectives.AllGather || enc.IGComm != collectives.AllReduce ||
+		enc.WGComm != collectives.AllReduce {
+		t.Errorf("encoder comm = %v/%v/%v", enc.FwdComm, enc.IGComm, enc.WGComm)
+	}
+	// Embedding has no activation communication.
+	if def.Layers[0].FwdComm != collectives.None {
+		t.Error("embedding should not communicate activations")
+	}
+}
+
+func TestDLRMShape(t *testing.T) {
+	def := DLRM(compute.Default(), 512)
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var a2aLayers int
+	for _, l := range def.Layers {
+		if l.FwdComm == collectives.AllToAll {
+			a2aLayers++
+			if l.IGComm != collectives.AllToAll {
+				t.Errorf("embedding layer %s must all-to-all gradients too", l.Name)
+			}
+		}
+	}
+	if a2aLayers != 1 {
+		t.Errorf("all-to-all layers = %d, want 1 (the embedding exchange)", a2aLayers)
+	}
+}
+
+func TestDefinitionsSerializeAndParse(t *testing.T) {
+	m := compute.Default()
+	for _, def := range []workload.Definition{
+		ResNet50(m, 32), Transformer(m, 32, 128), DLRM(m, 512),
+	} {
+		var buf bytes.Buffer
+		if err := workload.Write(&buf, def); err != nil {
+			t.Fatalf("%s: write: %v", def.Name, err)
+		}
+		got, err := workload.Parse(def.Name, &buf)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", def.Name, err)
+		}
+		if len(got.Layers) != len(def.Layers) || got.Parallelism != def.Parallelism {
+			t.Errorf("%s: round trip mismatch", def.Name)
+		}
+		for i := range def.Layers {
+			if got.Layers[i] != def.Layers[i] {
+				t.Errorf("%s layer %d: %+v != %+v", def.Name, i, got.Layers[i], def.Layers[i])
+			}
+		}
+	}
+}
+
+func TestComputeScaleAffectsModelCycles(t *testing.T) {
+	m := compute.Default()
+	m.Scale = 2
+	fast := ResNet50(m, 32)
+	base := ResNet50(compute.Default(), 32)
+	if fast.TotalComputeCycles() >= base.TotalComputeCycles() {
+		t.Error("2x compute model should produce fewer cycles")
+	}
+}
+
+// Calibration: the ResNet-50 table's forward MACs per sample must match
+// the published ~4.1 GMac (3.73 GMac here, since the four projection
+// shortcuts contribute parameters but are folded out of compute).
+func TestResNet50ForwardMACs(t *testing.T) {
+	macs := ResNet50ForwardMACs(32)
+	if macs < 3_600_000_000 || macs > 3_900_000_000 {
+		t.Errorf("forward MACs/sample = %d, want ~3.73G", macs)
+	}
+}
+
+func TestVGG16Shape(t *testing.T) {
+	def := VGG16(compute.Default(), 32)
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Layers) != 16 {
+		t.Fatalf("layers = %d, want 16", len(def.Layers))
+	}
+	var params int64
+	for _, l := range def.Layers {
+		params += l.WGBytes / GradBytes
+	}
+	// Published VGG-16 parameter count: ~138.4M.
+	if params < 137_000_000 || params > 139_500_000 {
+		t.Errorf("total params = %d, want ~138.4M", params)
+	}
+	// fc6 alone holds 102.8M parameters.
+	var fc6 int64
+	for _, l := range def.Layers {
+		if l.Name == "fc6" {
+			fc6 = l.WGBytes / GradBytes
+		}
+	}
+	if fc6 < 102_000_000 || fc6 > 103_500_000 {
+		t.Errorf("fc6 params = %d, want ~102.8M", fc6)
+	}
+}
+
+func TestBERTLargeShape(t *testing.T) {
+	def := BERTLarge(compute.Default(), 8, 128)
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// embedding + 24 encoders + classifier.
+	if len(def.Layers) != 26 {
+		t.Fatalf("layers = %d, want 26", len(def.Layers))
+	}
+	// Per-encoder parameters: QKV (1024x3072) + out (1024x1024) + FFN
+	// (2 x 1024x4096) = ~12.6M.
+	enc := def.Layers[1]
+	if p := enc.WGBytes / GradBytes; p < 12_500_000 || p > 12_700_000 {
+		t.Errorf("encoder params = %d, want ~12.6M", p)
+	}
+	// BERT-Large total ~340M params (embeddings + encoders + head).
+	var params int64
+	for _, l := range def.Layers {
+		params += l.WGBytes / GradBytes
+	}
+	if params < 330_000_000 || params > 370_000_000 {
+		t.Errorf("total params = %d, want ~340M", params)
+	}
+}
+
+func TestTransformerCustomMatchesBase(t *testing.T) {
+	base := Transformer(compute.Default(), 16, 64)
+	custom := TransformerCustom(compute.Default(), TransformerConfig{
+		Name: "Transformer", DModel: 512, DFF: 2048, Heads: 8, Layers: 6,
+		Vocab: 8192, Batch: 16, SeqLen: 64,
+	})
+	if len(base.Layers) != len(custom.Layers) {
+		t.Fatalf("layer counts differ: %d vs %d", len(base.Layers), len(custom.Layers))
+	}
+	for i := range base.Layers {
+		if base.Layers[i] != custom.Layers[i] {
+			t.Errorf("layer %d differs: %+v vs %+v", i, base.Layers[i], custom.Layers[i])
+		}
+	}
+}

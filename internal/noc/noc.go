@@ -1,0 +1,402 @@
+// Package noc is the network layer of the simulator: a standalone,
+// event-driven, packet-granularity model of the scale-up fabric that
+// stands in for Garnet (gem5) in the original ASTRA-SIM.
+//
+// Messages handed down by the system layer are decomposed into packets
+// (Table II: message -> packet -> flit -> phit). Each physical link
+// serializes one packet at a time at its bandwidth, derated by its link
+// efficiency (the data-flit fraction); a serialized packet then takes the
+// link's traversal latency plus one router latency per hop to arrive.
+// Links have finite input buffers (VCs x buffers-per-VC flits): a packet
+// whose next hop's buffer is full keeps occupying the current serializer,
+// producing head-of-line backpressure exactly where a Garnet credit stall
+// would appear.
+//
+// All paper experiments use software routing: the system layer gives every
+// message its explicit link path (one ring link, or NPU->switch->NPU), so
+// the network needs no routing logic of its own.
+package noc
+
+import (
+	"fmt"
+
+	"astrasim/internal/config"
+	"astrasim/internal/eventq"
+	"astrasim/internal/topology"
+)
+
+// Message is one system-layer transfer between two NPUs. The system layer
+// fills Src, Dst, Bytes and Path; the network layer fills the timestamps
+// and calls OnDelivered when the last packet arrives at Dst.
+type Message struct {
+	ID    uint64
+	Src   topology.Node
+	Dst   topology.Node
+	Bytes int64
+	// Path lists the physical links in traversal order.
+	Path []topology.LinkID
+	// OnDelivered fires (once) when the final packet reaches Dst. The
+	// endpoint (NMU) delay is charged by the system layer, not here.
+	OnDelivered func(*Message)
+
+	// Injected is when Send was called.
+	Injected eventq.Time
+	// SerStart is when the first packet began serializing on the first
+	// link. SerStart - Injected is the message's queuing delay.
+	SerStart eventq.Time
+	// Delivered is when the last packet arrived. Delivered - SerStart is
+	// the message's network delay.
+	Delivered eventq.Time
+
+	packetsLeft int
+	started     bool
+}
+
+// QueueDelay returns the cycles the message waited at its source before
+// its first packet started serializing.
+func (m *Message) QueueDelay() eventq.Time { return m.SerStart - m.Injected }
+
+// NetworkDelay returns the cycles between first serialization and final
+// delivery.
+func (m *Message) NetworkDelay() eventq.Time { return m.Delivered - m.SerStart }
+
+type packet struct {
+	msg     *Message
+	bytes   int64
+	pathPos int
+}
+
+// LinkStats aggregates per-link activity counters.
+type LinkStats struct {
+	Packets    uint64
+	Bytes      int64
+	BusyCycles eventq.Time
+	// BlockedCycles counts serializer time lost to downstream
+	// backpressure (head-of-line blocking).
+	BlockedCycles eventq.Time
+	// PeakQueue is the largest number of packets ever queued.
+	PeakQueue int
+}
+
+type link struct {
+	spec topology.LinkSpec
+	net  *Network
+
+	// serialization rate in effective bytes/cycle (bandwidth x efficiency)
+	effBW float64
+	// serCarry accumulates sub-cycle serialization remainders.
+	serCarry float64
+	latency  eventq.Time
+	// capPackets bounds the queue for packets arriving from another link
+	// (switch input buffering). Source injection is unbounded: endpoint
+	// queuing is the system-layer "queue delay".
+	capPackets int
+
+	queue []*packet
+	// reserved counts buffer slots promised to packets in flight on the
+	// wire toward this link (credit-style flow control).
+	reserved int
+	busy     bool
+	blocked  bool
+	// blockStart is when the current head packet finished serializing
+	// and began waiting on downstream buffer space.
+	blockStart eventq.Time
+	// waiters are upstream links stalled on this link's buffer space.
+	waiters []*link
+
+	stats LinkStats
+}
+
+// serCycles returns the serialization time for one packet, carrying the
+// fractional-cycle remainder across packets so a long packet stream moves
+// at exactly bandwidth x efficiency (no per-packet rounding inflation).
+func (l *link) serCycles(bytes int64) eventq.Time {
+	exact := float64(bytes)/l.effBW + l.serCarry
+	c := eventq.Time(exact)
+	l.serCarry = exact - float64(c)
+	if c == 0 {
+		c = 1
+		l.serCarry = 0
+	}
+	return c
+}
+
+// Network simulates the fabric over a topology's physical links.
+type Network struct {
+	eng    *eventq.Engine
+	topo   topology.Topology
+	params config.Network
+	links  []*link
+	nextID uint64
+
+	// DeliveredMessages counts completed messages (for tests/stats).
+	DeliveredMessages uint64
+}
+
+// New builds the network for topo using the given Garnet-level parameters.
+func New(eng *eventq.Engine, topo topology.Topology, p config.Network) (*Network, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{eng: eng, topo: topo, params: p}
+	flitBytes := p.FlitWidthBits / 8
+	if flitBytes == 0 {
+		flitBytes = 1
+	}
+	for _, spec := range topo.Links() {
+		l := &link{spec: spec, net: n}
+		switch spec.Class {
+		case topology.IntraPackage:
+			l.effBW = p.LocalLinkBandwidth * p.LocalLinkEfficiency
+			l.latency = eventq.Time(p.LocalLinkLatency)
+			l.capPackets = bufferPackets(p.VCsPerVNet, p.BuffersPerVC, flitBytes, p.LocalPacketSize)
+		case topology.InterPackage:
+			l.effBW = p.PackageLinkBandwidth * p.PackageLinkEfficiency
+			l.latency = eventq.Time(p.PackageLinkLatency)
+			l.capPackets = bufferPackets(p.VCsPerVNet, p.BuffersPerVC, flitBytes, p.PackagePacketSize)
+		case topology.ScaleOutLink:
+			l.effBW = p.ScaleOutLinkBandwidth * p.ScaleOutLinkEfficiency
+			l.latency = eventq.Time(p.ScaleOutLinkLatency)
+			l.capPackets = bufferPackets(p.VCsPerVNet, p.BuffersPerVC, flitBytes, p.ScaleOutPacketSize)
+		}
+		n.links = append(n.links, l)
+	}
+	return n, nil
+}
+
+func bufferPackets(vcs, buffersPerVC, flitBytes, packetSize int) int {
+	totalBytes := vcs * buffersPerVC * flitBytes
+	cap := totalBytes / packetSize
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// PacketSizeFor returns the configured packet size for a link class.
+func (n *Network) PacketSizeFor(class topology.LinkClass) int {
+	switch class {
+	case topology.IntraPackage:
+		return n.params.LocalPacketSize
+	case topology.ScaleOutLink:
+		return n.params.ScaleOutPacketSize
+	}
+	return n.params.PackagePacketSize
+}
+
+// Send injects msg. The message must have a non-empty path and positive
+// size. Packets are enqueued on the first link immediately; queuing delay
+// accrues there until serialization begins.
+func (n *Network) Send(msg *Message) {
+	if len(msg.Path) == 0 {
+		panic("noc: message with empty path")
+	}
+	if msg.Bytes <= 0 {
+		panic(fmt.Sprintf("noc: message with %d bytes", msg.Bytes))
+	}
+	n.nextID++
+	msg.ID = n.nextID
+	msg.Injected = n.eng.Now()
+
+	first := n.links[msg.Path[0]]
+	pktSize := int64(n.PacketSizeFor(first.spec.Class))
+	numPkts := (msg.Bytes + pktSize - 1) / pktSize
+	if maxP := int64(n.params.MaxPacketsPerMessage); maxP > 0 && numPkts > maxP {
+		numPkts = maxP
+		pktSize = (msg.Bytes + numPkts - 1) / numPkts
+	}
+	msg.packetsLeft = int(numPkts)
+	remaining := msg.Bytes
+	for i := int64(0); i < numPkts; i++ {
+		b := pktSize
+		if b > remaining {
+			b = remaining
+		}
+		remaining -= b
+		first.enqueueFromSource(&packet{msg: msg, bytes: b})
+	}
+}
+
+// enqueueFromSource adds a freshly injected packet (no buffer limit).
+func (l *link) enqueueFromSource(p *packet) {
+	l.queue = append(l.queue, p)
+	if len(l.queue) > l.stats.PeakQueue {
+		l.stats.PeakQueue = len(l.queue)
+	}
+	l.kick()
+}
+
+// hasSpace reports whether the buffer can take one more packet, counting
+// slots reserved for packets already in flight toward this link.
+func (l *link) hasSpace() bool { return len(l.queue)+l.reserved < l.capPackets }
+
+// acceptFromNetwork reserves a buffer slot and lands the packet in the
+// queue after the upstream wire latency plus one router hop.
+func (l *link) acceptFromNetwork(p *packet, wireDelay eventq.Time) {
+	l.reserved++
+	l.net.eng.Schedule(wireDelay, func() {
+		l.reserved--
+		l.queue = append(l.queue, p)
+		if len(l.queue) > l.stats.PeakQueue {
+			l.stats.PeakQueue = len(l.queue)
+		}
+		l.kick()
+	})
+}
+
+// kick starts serializing the head packet if the link is idle.
+func (l *link) kick() {
+	if l.busy || l.blocked || len(l.queue) == 0 {
+		return
+	}
+	p := l.queue[0]
+	l.busy = true
+	if !p.msg.started && p.pathPos == 0 {
+		p.msg.started = true
+		p.msg.SerStart = l.net.eng.Now()
+	}
+	ser := l.serCycles(p.bytes)
+	l.net.eng.Schedule(ser, func() {
+		l.stats.BusyCycles += ser
+		l.forward(p)
+	})
+}
+
+// hopDelay is the post-serialization delay to the next stage: wire latency
+// plus one router pipeline.
+func (l *link) hopDelay() eventq.Time {
+	return l.latency + eventq.Time(l.net.params.RouterLatency)
+}
+
+// forward hands the head packet to its next stage (downstream link or
+// destination endpoint). If the downstream buffer is full the packet keeps
+// the serializer busy (head-of-line blocking) until space frees.
+func (l *link) forward(p *packet) {
+	if p.pathPos+1 < len(p.msg.Path) {
+		next := l.net.links[p.msg.Path[p.pathPos+1]]
+		if !next.hasSpace() {
+			l.blocked = true
+			l.blockStart = l.net.eng.Now()
+			next.waiters = append(next.waiters, l)
+			return
+		}
+		next.acceptFromNetwork(advanced(p), l.hopDelay())
+	} else {
+		// Final hop: arrival at the destination endpoint.
+		msg := p.msg
+		l.net.eng.Schedule(l.hopDelay(), func() {
+			msg.packetsLeft--
+			if msg.packetsLeft == 0 {
+				msg.Delivered = l.net.eng.Now()
+				l.net.DeliveredMessages++
+				if msg.OnDelivered != nil {
+					msg.OnDelivered(msg)
+				}
+			}
+		})
+	}
+	l.finishHead(p)
+}
+
+// advanced returns a copy of p advanced to the next path position.
+func advanced(p *packet) *packet {
+	np := *p
+	np.pathPos++
+	return &np
+}
+
+// finishHead retires the serialized head packet and restarts the pipeline.
+func (l *link) finishHead(p *packet) {
+	l.stats.Packets++
+	l.stats.Bytes += p.bytes
+	l.queue = l.queue[1:]
+	l.busy = false
+	l.blocked = false
+	l.kick()
+	l.releaseWaiters()
+}
+
+// releaseWaiters unblocks upstream links stalled on this link's buffer.
+func (l *link) releaseWaiters() {
+	for len(l.waiters) > 0 && l.hasSpace() {
+		w := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		p := w.queue[0]
+		w.stats.BlockedCycles += l.net.eng.Now() - w.blockStart
+		l.acceptFromNetwork(advanced(p), w.hopDelay())
+		// The waiting link's serializer was blocked, not re-run: retire
+		// its head now that the hand-off succeeded.
+		w.finishHead(p)
+	}
+}
+
+// LinkStatsFor returns a copy of the counters for one link.
+func (n *Network) LinkStatsFor(id topology.LinkID) LinkStats { return n.links[id].stats }
+
+// TotalBytesByClass sums bytes carried per link class.
+func (n *Network) TotalBytesByClass() (intra, inter, scaleOut int64) {
+	for _, l := range n.links {
+		switch l.spec.Class {
+		case topology.IntraPackage:
+			intra += l.stats.Bytes
+		case topology.InterPackage:
+			inter += l.stats.Bytes
+		case topology.ScaleOutLink:
+			scaleOut += l.stats.Bytes
+		}
+	}
+	return intra, inter, scaleOut
+}
+
+// ScaleLinkBandwidth derates (factor < 1) or boosts one link's effective
+// bandwidth — fault-injection and what-if hook for degraded-link studies.
+// Must be called before traffic that should observe it.
+func (n *Network) ScaleLinkBandwidth(id topology.LinkID, factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("noc: bandwidth scale must be positive, got %v", factor))
+	}
+	n.links[id].effBW *= factor
+}
+
+// ClassUtilization summarizes one link class's activity over a window.
+type ClassUtilization struct {
+	Links int
+	// AvgBusy is the mean fraction of the window links spent
+	// serializing; PeakBusy is the busiest single link's fraction.
+	AvgBusy  float64
+	PeakBusy float64
+}
+
+// UtilizationByClass computes per-class link utilization over the window
+// [0, until] — the occupancy report behind capacity-planning studies.
+func (n *Network) UtilizationByClass(until eventq.Time) map[topology.LinkClass]ClassUtilization {
+	out := make(map[topology.LinkClass]ClassUtilization)
+	if until == 0 {
+		return out
+	}
+	for _, l := range n.links {
+		u := out[l.spec.Class]
+		u.Links++
+		busy := float64(l.stats.BusyCycles) / float64(until)
+		u.AvgBusy += busy
+		if busy > u.PeakBusy {
+			u.PeakBusy = busy
+		}
+		out[l.spec.Class] = u
+	}
+	for class, u := range out {
+		u.AvgBusy /= float64(u.Links)
+		out[class] = u
+	}
+	return out
+}
+
+// Quiet reports whether no packets are queued or in flight on any link.
+func (n *Network) Quiet() bool {
+	for _, l := range n.links {
+		if l.busy || len(l.queue) > 0 || l.reserved > 0 {
+			return false
+		}
+	}
+	return true
+}

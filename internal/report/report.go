@@ -1,0 +1,139 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV files — the rows/series each paper figure plots.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is one figure's (or sub-figure's) data.
+type Table struct {
+	// ID is a stable slug like "fig09a-alltoall".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold pre-formatted cells, one slice per row.
+	Rows [][]string
+}
+
+// New creates a table with the given identity and columns.
+func New(id, title string, columns ...string) *Table {
+	return &Table{ID: id, Title: title, Columns: columns}
+}
+
+// AddRow appends one row; the cell count must match the columns.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row with %d cells for %d columns in %s", len(cells), len(t.Columns), t.ID))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Float formats a float with sensible precision for cycle counts/ratios.
+func Float(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case v >= 1:
+		return strconv.FormatFloat(v, 'f', 2, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
+}
+
+// Int formats an integer cell.
+func Int(v int64) string { return strconv.FormatInt(v, 10) }
+
+// Percent formats a ratio as "12.3%".
+func Percent(ratio float64) string {
+	return strconv.FormatFloat(100*ratio, 'f', 1, 64) + "%"
+}
+
+// Bytes formats a byte count using binary units (64KB, 4MB).
+func Bytes(b int64) string {
+	switch {
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return strconv.FormatInt(b>>30, 10) + "GB"
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return strconv.FormatInt(b>>20, 10) + "MB"
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return strconv.FormatInt(b>>10, 10) + "KB"
+	default:
+		return strconv.FormatInt(b, 10) + "B"
+	}
+}
+
+// csvEscape quotes a cell when needed.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+	}
+	return s
+}
+
+// WriteCSV emits the table as CSV (header row first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		esc[i] = csvEscape(c)
+	}
+	if _, err := io.WriteString(w, strings.Join(esc, ",")+"\n"); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = csvEscape(c)
+		}
+		if _, err := io.WriteString(w, strings.Join(cells, ",")+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteASCII emits the table with aligned columns and a title banner.
+func (t *Table) WriteASCII(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

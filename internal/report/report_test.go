@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddRowMismatchPanics(t *testing.T) {
+	tb := New("t", "test", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong cell count")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := New("fig", "demo", "size", "time")
+	tb.AddRow("64KB", "123")
+	tb.AddRow("has,comma", "has\"quote")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "size,time\n64KB,123\n\"has,comma\",\"has\"\"quote\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteASCIIAligns(t *testing.T) {
+	tb := New("fig", "demo", "name", "value")
+	tb.AddRow("x", "1")
+	tb.AddRow("longer-name", "22")
+	var b strings.Builder
+	if err := tb.WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "## fig — demo") {
+		t.Errorf("missing banner in %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header, separator, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	// "value" column starts at the same offset in both data rows.
+	if strings.Index(lines[3], "1") != strings.Index(lines[4], "22") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Bytes(64 << 10); got != "64KB" {
+		t.Errorf("Bytes(64K) = %q", got)
+	}
+	if got := Bytes(4 << 20); got != "4MB" {
+		t.Errorf("Bytes(4M) = %q", got)
+	}
+	if got := Bytes(1000); got != "1000B" {
+		t.Errorf("Bytes(1000) = %q", got)
+	}
+	if got := Bytes(1 << 30); got != "1GB" {
+		t.Errorf("Bytes(1G) = %q", got)
+	}
+	if got := Percent(0.123); got != "12.3%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Int(-5); got != "-5" {
+		t.Errorf("Int = %q", got)
+	}
+	if got := Float(0); got != "0" {
+		t.Errorf("Float(0) = %q", got)
+	}
+	if got := Float(123456); got != "123456" {
+		t.Errorf("Float(123456) = %q", got)
+	}
+	if got := Float(1.5); got != "1.50" {
+		t.Errorf("Float(1.5) = %q", got)
+	}
+}

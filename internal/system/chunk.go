@@ -1,0 +1,250 @@
+package system
+
+import (
+	"fmt"
+
+	"astrasim/internal/collectives"
+	"astrasim/internal/eventq"
+	"astrasim/internal/noc"
+	"astrasim/internal/topology"
+	"astrasim/internal/trace"
+)
+
+// chunk is the scheduling unit: one 1/preferred-set-splits slice of a
+// collective set. A chunk walks the compiled phase list one phase at a
+// time: it queues in the phase's logical scheduling queue (LSQ), activates
+// when the LSQ grants it a slot, runs the phase's ring/direct steps on
+// every node, and is rescheduled into the next phase's LSQ when all nodes
+// finish (paper §IV-B, Fig. 7).
+type chunk struct {
+	sys     *System
+	coll    *Handle
+	idx     int
+	bytes   int64
+	readyAt eventq.Time
+
+	// phase is the current phase index (len(phases) when complete).
+	phase int
+	// enqueuedAt is when the chunk entered the current phase's LSQ.
+	enqueuedAt eventq.Time
+	// activatedAt is when the LSQ granted the slot and nodes started.
+	activatedAt eventq.Time
+	// nodesDone counts nodes that finished the current phase.
+	nodesDone int
+
+	nodes []chunkNodeState
+}
+
+// chunkNodeState tracks one NPU's step progress within the active phase.
+type chunkNodeState struct {
+	// step is the next receive step expected.
+	step int
+	// recvd counts messages received for the current step (direct
+	// phases expect Size-1 per step; ring phases expect 1).
+	recvd int
+	// done marks the node finished with the current phase.
+	done bool
+	// early buffers messages for steps this node has not reached yet (a
+	// faster peer can run ahead within the phase).
+	early map[int]int
+}
+
+func newChunk(s *System, h *Handle, idx int, bytes int64) *chunk {
+	return &chunk{
+		sys:   s,
+		coll:  h,
+		idx:   idx,
+		bytes: bytes,
+		nodes: make([]chunkNodeState, s.Topo.NumNPUs()),
+	}
+}
+
+// start is called by the dispatcher when the chunk leaves the ready
+// queue: it enters the first phase's LSQ.
+func (c *chunk) start() {
+	c.phase = -1
+	c.nextPhase()
+}
+
+// channelFor returns the chunk's channel within the phase's dimension
+// (its LSQ lane: one unidirectional ring or one global switch).
+func (c *chunk) channelFor(ph collectives.Phase) int {
+	for _, d := range c.sys.Topo.Dims() {
+		if d.Dim == ph.Dim {
+			return c.idx % d.Channels
+		}
+	}
+	panic(fmt.Sprintf("system: topology has no dimension %v", ph.Dim))
+}
+
+// nextPhase reschedules the chunk into the following phase's LSQ, or
+// completes it.
+func (c *chunk) nextPhase() {
+	c.phase++
+	if c.phase == len(c.coll.phases) {
+		c.sys.chunkComplete(c)
+		return
+	}
+	ph := c.coll.phases[c.phase]
+	c.enqueuedAt = c.sys.Eng.Now()
+	c.sys.lsqFor(ph.Dim, c.channelFor(ph), c.phase).enqueue(c)
+}
+
+// activate is called by the LSQ when the chunk gets a slot: every node
+// begins the phase's step schedule. The LSQ wait is the paper's
+// "Queue P1..P4" delay.
+func (c *chunk) activate() {
+	c.activatedAt = c.sys.Eng.Now()
+	p := c.phase
+	c.coll.queueSum[p+1] += c.activatedAt - c.enqueuedAt
+	c.coll.queueN[p+1]++
+	c.nodesDone = 0
+	for n := range c.nodes {
+		c.nodes[n] = chunkNodeState{early: make(map[int]int)}
+	}
+	// Snapshot the node list: sends below may complete synchronously.
+	for n := range c.nodes {
+		c.sendStep(topology.Node(n), p, 0)
+	}
+}
+
+// neededPerStep is how many messages a node must receive per step.
+func neededPerStep(ph collectives.Phase) int {
+	if ph.Direct {
+		return ph.Size - 1
+	}
+	return 1
+}
+
+// sendStep transmits node n's messages for step s of phase p.
+func (c *chunk) sendStep(n topology.Node, p, s int) {
+	ph := c.coll.phases[p]
+	channel := c.channelFor(ph)
+	size := ph.StepBytes(s, c.bytes)
+	if ph.Direct {
+		for _, peer := range c.sys.Topo.Group(ph.Dim, n) {
+			if peer == n {
+				continue
+			}
+			c.sendMsg(n, peer, p, s, size, channel, ph)
+		}
+		return
+	}
+	ring := c.sys.Topo.RingOf(ph.Dim, n, channel)
+	c.sendMsg(n, ring.Next(n), p, s, size, channel, ph)
+}
+
+// sendMsg injects one message and wires its delivery back into the chunk
+// state machine (after the destination NMU's endpoint delay, plus the
+// transport-layer processing for messages that crossed the scale-out
+// fabric).
+func (c *chunk) sendMsg(src, dst topology.Node, p, s int, size int64, channel int, ph collectives.Phase) {
+	path := c.sys.Topo.PathLinks(ph.Dim, channel, src, dst)
+	var extra eventq.Time
+	if ph.Dim == topology.DimScaleOut {
+		extra = eventq.Time(c.sys.Cfg.TransportDelay)
+	}
+	msg := &noc.Message{
+		Src: src, Dst: dst, Bytes: size, Path: path,
+		OnDelivered: func(*noc.Message) {
+			c.sys.injectDone(src)
+			c.sys.endpointReceive(dst, extra, func() { c.onReceive(dst, p, s) })
+		},
+	}
+	c.sys.inject(src, func() { c.sys.Net.Send(msg) })
+}
+
+// onReceive processes one delivered message at node n for step s of phase
+// p, buffering it if n has not reached that step yet.
+func (c *chunk) onReceive(n topology.Node, p, s int) {
+	if p != c.phase {
+		panic(fmt.Sprintf("system: chunk %d/%d node %d received phase %d message during phase %d",
+			c.coll.ID, c.idx, n, p, c.phase))
+	}
+	st := &c.nodes[n]
+	if s != st.step {
+		if s < st.step {
+			panic(fmt.Sprintf("system: chunk %d/%d node %d received stale step %d at step %d",
+				c.coll.ID, c.idx, n, s, st.step))
+		}
+		st.early[s]++
+		return
+	}
+	st.recvd++
+	if c.advance(n) {
+		c.drainEarly(n)
+	}
+}
+
+// drainEarly consumes buffered messages matching the node's current step.
+func (c *chunk) drainEarly(n topology.Node) {
+	st := &c.nodes[n]
+	for !st.done {
+		cnt := st.early[st.step]
+		if cnt == 0 {
+			return
+		}
+		ph := c.coll.phases[c.phase]
+		need := neededPerStep(ph) - st.recvd
+		take := cnt
+		if take > need {
+			take = need
+		}
+		st.recvd += take
+		if take == cnt {
+			delete(st.early, st.step)
+		} else {
+			st.early[st.step] = cnt - take
+		}
+		if !c.advance(n) {
+			return
+		}
+	}
+}
+
+// advance moves the node forward when its current step is satisfied:
+// send the next step, or mark the node done with the phase. Reports
+// whether progress was made.
+func (c *chunk) advance(n topology.Node) bool {
+	st := &c.nodes[n]
+	ph := c.coll.phases[c.phase]
+	if st.recvd < neededPerStep(ph) {
+		return false
+	}
+	st.recvd = 0
+	if st.step == ph.NumSteps()-1 {
+		st.done = true
+		c.nodeDone()
+		return true
+	}
+	st.step++
+	c.sendStep(n, c.phase, st.step)
+	return true
+}
+
+// nodeDone accounts one node's phase completion; when all nodes are done
+// the chunk releases its LSQ slot and moves on.
+func (c *chunk) nodeDone() {
+	c.nodesDone++
+	if c.nodesDone < len(c.nodes) {
+		return
+	}
+	p := c.phase
+	now := c.sys.Eng.Now()
+	c.coll.netSum[p+1] += now - c.activatedAt
+	c.coll.netN[p+1]++
+	ph := c.coll.phases[p]
+	if c.sys.Tracer.Enabled() {
+		if wait := c.activatedAt - c.enqueuedAt; wait > 0 {
+			c.sys.Tracer.Span(trace.PhaseSpanName(p, "queue"), "queue",
+				c.coll.ID, c.idx, c.enqueuedAt, wait, nil)
+		}
+		c.sys.Tracer.Span(trace.PhaseSpanName(p, ph.String()), "phase",
+			c.coll.ID, c.idx, c.activatedAt, now-c.activatedAt, nil)
+	}
+	if p == 0 {
+		c.sys.firstPhaseCleared()
+	}
+	c.sys.lsqFor(ph.Dim, c.channelFor(ph), p).release(c)
+	c.nextPhase()
+}

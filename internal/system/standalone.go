@@ -1,0 +1,54 @@
+package system
+
+import (
+	"fmt"
+
+	"astrasim/internal/collectives"
+	"astrasim/internal/config"
+	"astrasim/internal/eventq"
+	"astrasim/internal/noc"
+	"astrasim/internal/topology"
+)
+
+// Instance bundles a ready-to-run engine, network, and system layer.
+type Instance struct {
+	Eng  *eventq.Engine
+	Topo topology.Topology
+	Net  *noc.Network
+	Sys  *System
+}
+
+// NewInstance wires an engine, network and system layer over topo.
+func NewInstance(topo topology.Topology, sysCfg config.System, netCfg config.Network) (*Instance, error) {
+	eng := eventq.New()
+	net, err := noc.New(eng, topo, netCfg)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := New(eng, topo, net, sysCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Eng: eng, Topo: topo, Net: net, Sys: sys}, nil
+}
+
+// RunCollective executes a single collective of op/bytes to completion on
+// a fresh instance and returns its handle (the "bandwidth test" used for
+// the paper's collective microbenchmarks, Figs. 9-12).
+func RunCollective(topo topology.Topology, sysCfg config.System, netCfg config.Network, op collectives.Op, bytes int64) (*Handle, error) {
+	inst, err := NewInstance(topo, sysCfg, netCfg)
+	if err != nil {
+		return nil, err
+	}
+	done := false
+	h, err := inst.Sys.IssueCollective(op, bytes, op.String(), func(*Handle) { done = true })
+	if err != nil {
+		return nil, err
+	}
+	inst.Eng.Run()
+	if !done {
+		return nil, fmt.Errorf("system: collective %v (%d bytes) did not complete; %d events fired",
+			op, bytes, inst.Eng.Fired())
+	}
+	return h, nil
+}

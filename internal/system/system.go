@@ -1,0 +1,472 @@
+// Package system implements the System layer of ASTRA-SIM (paper §IV-B):
+// the interface between the workload layer above and the network layer
+// below. It owns the topology-aware collective execution, the chunking of
+// collective "sets" for pipelining (Table II), the scheduler with its
+// ready queue and logical scheduling queues (LSQs), and the dispatcher
+// that throttles how many chunks are in flight in the first phase.
+//
+// A collective issued by the workload layer is one *set*. The set is split
+// into chunks (Table III: preferred-set-splits); each chunk independently
+// walks the compiled phase list (one phase per topology dimension),
+// assigned per phase to one of the dimension's parallel channels — one
+// unidirectional ring, or one global switch — which is exactly the
+// paper's "one LSQ per dedicated link group" rule. The dispatcher issues P
+// new chunks from the ready queue whenever fewer than T chunks remain in
+// their first phase (§V-F: T=8, P=16).
+package system
+
+import (
+	"fmt"
+
+	"astrasim/internal/collectives"
+	"astrasim/internal/config"
+	"astrasim/internal/eventq"
+	"astrasim/internal/noc"
+	"astrasim/internal/topology"
+	"astrasim/internal/trace"
+)
+
+// Handle tracks one issued collective (a set) through its lifetime. The
+// workload layer keeps it to observe completion and per-phase breakdowns.
+type Handle struct {
+	ID    int
+	Op    collectives.Op
+	Bytes int64
+	// Tag is free-form ("layer 3 WG") for reports.
+	Tag string
+	// Priority orders the ready queue under the Priority policy (lower
+	// value = more urgent).
+	Priority int
+	// OnComplete fires when every chunk has finished every phase on
+	// every node.
+	OnComplete func(*Handle)
+
+	// CreatedAt is when the workload issued the collective; DoneAt when
+	// it completed.
+	CreatedAt eventq.Time
+	DoneAt    eventq.Time
+
+	phases     []collectives.Phase
+	chunks     []*chunk
+	chunksDone int
+
+	// Breakdown accumulators, indexed by phase (0 = ready queue).
+	queueSum []eventq.Time // queueSum[0] is the P0 ready-queue delay
+	netSum   []eventq.Time
+	queueN   []int
+	netN     []int
+}
+
+// NumPhases returns the compiled phase count (e.g. 3 for the baseline
+// torus all-reduce, 4 for the enhanced algorithm).
+func (h *Handle) NumPhases() int { return len(h.phases) }
+
+// Phases returns the compiled phase list.
+func (h *Handle) Phases() []collectives.Phase { return h.phases }
+
+// Done reports completion.
+func (h *Handle) Done() bool { return h.chunksDone == len(h.chunks) && len(h.chunks) > 0 || h.noWork() }
+
+func (h *Handle) noWork() bool { return len(h.chunks) == 0 }
+
+// Duration returns end-to-end collective latency.
+func (h *Handle) Duration() eventq.Time { return h.DoneAt - h.CreatedAt }
+
+// AvgQueueDelay returns the average per-chunk queue delay at stage i
+// (the paper's "Queue P0..P4"): i=0 is the ready-queue wait before the
+// dispatcher issued the chunk; i>=1 is the wait in phase i's logical
+// scheduling queue before the chunk got a slot on its ring/switch.
+func (h *Handle) AvgQueueDelay(i int) float64 {
+	if i >= len(h.queueN) || h.queueN[i] == 0 {
+		return 0
+	}
+	return float64(h.queueSum[i]) / float64(h.queueN[i])
+}
+
+// AvgNetworkDelay returns the average per-chunk in-network time of phase
+// i, 1-based like the paper's "Network P1..P4": LSQ activation to the
+// last node finishing the phase.
+func (h *Handle) AvgNetworkDelay(i int) float64 {
+	if i >= len(h.netN) || h.netN[i] == 0 {
+		return 0
+	}
+	return float64(h.netSum[i]) / float64(h.netN[i])
+}
+
+// AvgPhaseResidence returns the average per-chunk wall-clock time spent
+// in phase i (1-based), LSQ queueing included.
+func (h *Handle) AvgPhaseResidence(i int) float64 {
+	return h.AvgQueueDelay(i) + h.AvgNetworkDelay(i)
+}
+
+// System is the system layer instance shared by all NPUs. The simulated
+// workload is SPMD: every NPU participates in every collective, so a
+// single coordinator object holds the (identical) per-node scheduler state
+// and drives per-node progress deterministically through the event queue.
+type System struct {
+	Eng  *eventq.Engine
+	Topo topology.Topology
+	Net  *noc.Network
+	Cfg  config.System
+	// Tracer, when non-nil, records one queue span and one execution
+	// span per chunk-phase (Chrome trace format; see internal/trace).
+	Tracer *trace.Recorder
+
+	nextID int
+	// ready is the queue of chunks accepted but not yet issued
+	// (LIFO/FIFO per the scheduling policy).
+	ready []*chunk
+	// inFirstPhase counts issued chunks that have not yet cleared their
+	// first phase on every node (the dispatcher's threshold input).
+	inFirstPhase int
+	// lsqs are the logical scheduling queues, one per (dimension,
+	// channel, phase position): each throttles how many chunks run
+	// concurrently on its dedicated ring or switch (paper Fig. 7).
+	lsqs map[lsqKey]*lsq
+
+	// endpointBusy tracks, per NPU, when its NMU frees up; endpoint
+	// processing is serialized per node (one message at a time).
+	endpointBusy []eventq.Time
+	// endpointScale multiplies a node's endpoint delay (1 = nominal);
+	// the straggler-injection hook.
+	endpointScale []float64
+	// injectors throttle per-node message injection under the Normal
+	// injection policy (Table III #15): at most one in-flight message
+	// per outgoing link; Aggressive injects without limit.
+	injectors []injector
+	// router serves point-to-point hardware routing (built lazily).
+	router *topology.Router
+	// p2pSeq spreads consecutive point-to-point sends across parallel
+	// physical links.
+	p2pSeq int
+}
+
+// injector is one NPU's NMU-side injection throttle.
+type injector struct {
+	capacity int // 0 = unlimited (aggressive)
+	inFlight int
+	queue    []func()
+}
+
+// inject runs send now if a slot is free, else queues it.
+func (s *System) inject(node topology.Node, send func()) {
+	in := &s.injectors[node]
+	if in.capacity == 0 || in.inFlight < in.capacity {
+		in.inFlight++
+		send()
+		return
+	}
+	in.queue = append(in.queue, send)
+}
+
+// injectDone releases node's slot when a message is delivered, launching
+// the next queued send.
+func (s *System) injectDone(node topology.Node) {
+	in := &s.injectors[node]
+	if len(in.queue) > 0 {
+		next := in.queue[0]
+		in.queue = in.queue[1:]
+		next()
+		return
+	}
+	in.inFlight--
+}
+
+// lsqKey identifies one logical scheduling queue.
+type lsqKey struct {
+	dim      topology.Dim
+	channel  int
+	phaseIdx int
+}
+
+// lsq is a logical scheduling queue: a FIFO of chunks waiting to run one
+// phase on one dedicated channel, with at most width chunks active.
+type lsq struct {
+	width  int
+	active int
+	queue  []*chunk
+}
+
+// enqueue admits a chunk, activating it immediately if a slot is free.
+func (q *lsq) enqueue(c *chunk) {
+	if q.active < q.width {
+		q.active++
+		c.activate()
+		return
+	}
+	q.queue = append(q.queue, c)
+}
+
+// release frees the slot held by a finishing chunk and activates the next
+// queued one.
+func (q *lsq) release(*chunk) {
+	if len(q.queue) > 0 {
+		next := q.queue[0]
+		q.queue = q.queue[1:]
+		next.activate()
+		return
+	}
+	q.active--
+}
+
+// lsqFor returns (creating on demand) the LSQ for a phase lane.
+func (s *System) lsqFor(dim topology.Dim, channel, phaseIdx int) *lsq {
+	k := lsqKey{dim: dim, channel: channel, phaseIdx: phaseIdx}
+	q, ok := s.lsqs[k]
+	if !ok {
+		q = &lsq{width: s.Cfg.LSQWidth}
+		s.lsqs[k] = q
+	}
+	return q
+}
+
+// New builds a system layer over an existing network.
+func New(eng *eventq.Engine, topo topology.Topology, net *noc.Network, cfg config.System) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	scale := make([]float64, topo.NumNPUs())
+	for i := range scale {
+		scale[i] = 1
+	}
+	injectors := make([]injector, topo.NumNPUs())
+	if cfg.InjectionPolicy == config.NormalInjection {
+		// Normal: one in-flight message per outgoing physical link.
+		for _, l := range topo.Links() {
+			if int(l.Src) < len(injectors) {
+				injectors[l.Src].capacity++
+			}
+		}
+	}
+	return &System{
+		Eng:           eng,
+		Topo:          topo,
+		Net:           net,
+		Cfg:           cfg,
+		lsqs:          make(map[lsqKey]*lsq),
+		endpointBusy:  make([]eventq.Time, topo.NumNPUs()),
+		endpointScale: scale,
+		injectors:     injectors,
+	}, nil
+}
+
+// CollectiveSpec fully describes a collective to issue.
+type CollectiveSpec struct {
+	Op    collectives.Op
+	Bytes int64
+	// Tag is free-form, used in reports and traces.
+	Tag string
+	// Priority orders the ready queue under the Priority policy (lower
+	// = more urgent).
+	Priority int
+	// Scope restricts the collective to a subset of topology dimensions
+	// (sub-group collectives for hybrid parallelism); nil = global.
+	Scope []topology.Dim
+}
+
+// IssueCollective enqueues a collective of op with a total set size of
+// bytes at neutral priority. All NPUs participate. Returns the handle;
+// completion is signaled via OnComplete.
+func (s *System) IssueCollective(op collectives.Op, bytes int64, tag string, onComplete func(*Handle)) (*Handle, error) {
+	return s.Issue(CollectiveSpec{Op: op, Bytes: bytes, Tag: tag}, onComplete)
+}
+
+// IssueCollectivePriority is IssueCollective with an explicit priority
+// (lower = more urgent), honored by the Priority scheduling policy
+// (§III-E: first-layer gradients overtake later layers' even when issued
+// later). Other policies ignore it.
+func (s *System) IssueCollectivePriority(op collectives.Op, bytes int64, tag string, priority int, onComplete func(*Handle)) (*Handle, error) {
+	return s.Issue(CollectiveSpec{Op: op, Bytes: bytes, Tag: tag, Priority: priority}, onComplete)
+}
+
+// Issue enqueues a fully specified collective.
+func (s *System) Issue(spec CollectiveSpec, onComplete func(*Handle)) (*Handle, error) {
+	op, bytes, tag, priority := spec.Op, spec.Bytes, spec.Tag, spec.Priority
+	if bytes <= 0 {
+		return nil, fmt.Errorf("system: collective size must be positive, got %d", bytes)
+	}
+	phases, err := collectives.CompileScoped(op, s.Topo, s.Cfg.Algorithm, spec.Scope)
+	if err != nil {
+		return nil, err
+	}
+	s.nextID++
+	h := &Handle{
+		ID: s.nextID, Op: op, Bytes: bytes, Tag: tag,
+		Priority:   priority,
+		OnComplete: onComplete,
+		CreatedAt:  s.Eng.Now(),
+		phases:     phases,
+		queueSum:   make([]eventq.Time, len(phases)+1),
+		netSum:     make([]eventq.Time, len(phases)+1),
+		queueN:     make([]int, len(phases)+1),
+		netN:       make([]int, len(phases)+1),
+	}
+	if s.Tracer.Enabled() {
+		label := tag
+		if label == "" {
+			label = op.String()
+		}
+		s.Tracer.NameProcess(h.ID, fmt.Sprintf("collective %d: %s", h.ID, label))
+	}
+	if len(phases) == 0 {
+		// Single-node topology or no-op: complete immediately.
+		s.Eng.Schedule(0, func() { s.complete(h) })
+		return h, nil
+	}
+	h.chunks = s.makeChunks(h)
+	s.enqueueReady(h.chunks)
+	s.dispatch()
+	return h, nil
+}
+
+// minChunkBytes keeps chunks from degenerating below a useful pipelining
+// granule (Table II ties chunk size to a storage element).
+const minChunkBytes = 1024
+
+// makeChunks splits the set into preferred-set-splits chunks.
+func (s *System) makeChunks(h *Handle) []*chunk {
+	n := s.Cfg.PreferredSetSplits
+	if int64(n) > h.Bytes/minChunkBytes {
+		n = int(h.Bytes / minChunkBytes)
+		if n < 1 {
+			n = 1
+		}
+	}
+	per := h.Bytes / int64(n)
+	rem := h.Bytes - per*int64(n)
+	chunks := make([]*chunk, n)
+	for i := range chunks {
+		b := per
+		if int64(i) < rem {
+			b++
+		}
+		chunks[i] = newChunk(s, h, i, b)
+	}
+	return chunks
+}
+
+// enqueueReady adds a collective's chunks to the ready queue per the
+// scheduling policy: LIFO puts the newest collective's chunks at the head
+// (prioritizing late-issued early-layer gradients, §III-E), FIFO at the
+// tail, and Priority inserts by the collective's explicit priority
+// (FIFO-stable among equals). Chunk order within a collective is always
+// preserved.
+func (s *System) enqueueReady(chunks []*chunk) {
+	for _, c := range chunks {
+		c.readyAt = s.Eng.Now()
+	}
+	switch s.Cfg.SchedulingPolicy {
+	case config.LIFO:
+		s.ready = append(append([]*chunk{}, chunks...), s.ready...)
+	case config.Priority:
+		pri := chunks[0].coll.Priority
+		at := len(s.ready)
+		for i, c := range s.ready {
+			if c.coll.Priority > pri {
+				at = i
+				break
+			}
+		}
+		rest := append([]*chunk{}, s.ready[at:]...)
+		s.ready = append(append(s.ready[:at:at], chunks...), rest...)
+	default:
+		s.ready = append(s.ready, chunks...)
+	}
+}
+
+// dispatch is the paper's dispatcher: while fewer than T chunks are in
+// their first phase, issue up to P chunks from the ready queue.
+func (s *System) dispatch() {
+	for len(s.ready) > 0 && s.inFirstPhase < s.Cfg.IssueThreshold {
+		batch := s.Cfg.IssueBatch
+		if batch > len(s.ready) {
+			batch = len(s.ready)
+		}
+		issue := s.ready[:batch]
+		s.ready = s.ready[batch:]
+		for _, c := range issue {
+			s.inFirstPhase++
+			c.coll.queueSum[0] += s.Eng.Now() - c.readyAt
+			c.coll.queueN[0]++
+			c.start()
+		}
+	}
+}
+
+// firstPhaseCleared is called by a chunk when every node finished its
+// first phase; it may unblock the dispatcher.
+func (s *System) firstPhaseCleared() {
+	s.inFirstPhase--
+	s.dispatch()
+}
+
+// chunkComplete is called when a chunk finishes all phases on all nodes.
+func (s *System) chunkComplete(c *chunk) {
+	h := c.coll
+	h.chunksDone++
+	if h.chunksDone == len(h.chunks) {
+		s.complete(h)
+	}
+}
+
+func (s *System) complete(h *Handle) {
+	h.DoneAt = s.Eng.Now()
+	if h.OnComplete != nil {
+		h.OnComplete(h)
+	}
+}
+
+// endpointReceive models the NMU: each received message occupies the
+// destination endpoint for EndpointDelay cycles (plus extra, e.g. the
+// transport-layer processing of scale-out messages), serialized per node,
+// then fn runs.
+func (s *System) endpointReceive(node topology.Node, extra eventq.Time, fn func()) {
+	now := s.Eng.Now()
+	start := now
+	if s.endpointBusy[node] > start {
+		start = s.endpointBusy[node]
+	}
+	cost := float64(eventq.Time(s.Cfg.EndpointDelay)+extra) * s.endpointScale[node]
+	done := start + eventq.Time(cost)
+	s.endpointBusy[node] = done
+	s.Eng.At(done, fn)
+}
+
+// SendPointToPoint transmits bytes from src to dst over the shortest
+// physical route (hardware routing) and runs onDelivered after the
+// destination NMU processes it. This is the primitive behind
+// pipeline-parallel stage-boundary transfers, which — unlike collectives
+// — connect two specific NPUs.
+func (s *System) SendPointToPoint(src, dst topology.Node, bytes int64, onDelivered func()) error {
+	if bytes <= 0 {
+		return fmt.Errorf("system: point-to-point size must be positive, got %d", bytes)
+	}
+	if src == dst {
+		s.Eng.Schedule(0, onDelivered)
+		return nil
+	}
+	if s.router == nil {
+		s.router = topology.NewRouter(s.Topo)
+	}
+	s.p2pSeq++
+	path := s.router.Route(src, dst, s.p2pSeq)
+	msg := &noc.Message{
+		Src: src, Dst: dst, Bytes: bytes, Path: path,
+		OnDelivered: func(*noc.Message) {
+			s.injectDone(src)
+			s.endpointReceive(dst, 0, onDelivered)
+		},
+	}
+	s.inject(src, func() { s.Net.Send(msg) })
+	return nil
+}
+
+// SetNodeStragglerFactor multiplies one NPU's endpoint (NMU) processing
+// delay — straggler injection for resilience/what-if studies. Factor 1 is
+// nominal; 10 models a node whose message handling is 10x slower.
+func (s *System) SetNodeStragglerFactor(node topology.Node, factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("system: straggler factor must be positive, got %v", factor))
+	}
+	s.endpointScale[node] = factor
+}

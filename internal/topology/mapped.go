@@ -1,0 +1,96 @@
+package topology
+
+import "fmt"
+
+// Mapped presents a *logical* topology realized over a different
+// *physical* topology's links — the system-layer flexibility of paper
+// §IV-B: "map a single logical topology on different physical topologies
+// and compare the results (e.g. mapping a 3D logical topology on a 1D or
+// 2D physical torus)".
+//
+// The logical topology defines the dimensions, groups and rings the
+// collective algorithms see; the physical topology supplies the links.
+// A single logical hop between ring neighbors becomes a shortest-path
+// multi-hop route through the physical fabric (hardware routing,
+// Table III #14), paying router latency and sharing links at every
+// intermediate node.
+type Mapped struct {
+	logical  Topology
+	physical Topology
+	// perm maps logical NPU id -> physical NPU id.
+	perm []Node
+	// router computes shortest-path multi-hop routes over the physical
+	// links.
+	router *Router
+}
+
+// IdentityMapping returns the 1:1 logical-to-physical permutation.
+func IdentityMapping(n int) []Node {
+	p := make([]Node, n)
+	for i := range p {
+		p[i] = Node(i)
+	}
+	return p
+}
+
+// NewMapped overlays logical on physical using the given permutation
+// (logical NPU i lives at physical NPU perm[i]). Both topologies must
+// have the same NPU count and perm must be a bijection over it.
+func NewMapped(logical, physical Topology, perm []Node) (*Mapped, error) {
+	n := logical.NumNPUs()
+	if physical.NumNPUs() != n {
+		return nil, fmt.Errorf("topology: logical %s has %d NPUs, physical %s has %d",
+			logical.Name(), n, physical.Name(), physical.NumNPUs())
+	}
+	if len(perm) != n {
+		return nil, fmt.Errorf("topology: mapping has %d entries for %d NPUs", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || int(p) >= n || seen[p] {
+			return nil, fmt.Errorf("topology: mapping is not a bijection over [0,%d)", n)
+		}
+		seen[p] = true
+	}
+	m := &Mapped{
+		logical:  logical,
+		physical: physical,
+		perm:     append([]Node(nil), perm...),
+	}
+	m.router = NewRouter(physical)
+	return m, nil
+}
+
+// Name implements Topology.
+func (m *Mapped) Name() string {
+	return fmt.Sprintf("logical %s on physical %s", m.logical.Name(), m.physical.Name())
+}
+
+// NumNPUs implements Topology.
+func (m *Mapped) NumNPUs() int { return m.logical.NumNPUs() }
+
+// NumNodes implements Topology (the physical node count: the network is
+// built from the physical links).
+func (m *Mapped) NumNodes() int { return m.physical.NumNodes() }
+
+// Dims implements Topology: the logical structure.
+func (m *Mapped) Dims() []DimInfo { return m.logical.Dims() }
+
+// Group implements Topology (logical ids).
+func (m *Mapped) Group(d Dim, n Node) []Node { return m.logical.Group(d, n) }
+
+// RingOf implements Topology (logical rings).
+func (m *Mapped) RingOf(d Dim, n Node, channel int) *Ring { return m.logical.RingOf(d, n, channel) }
+
+// PathLinks implements Topology: one logical hop becomes a shortest-path
+// physical route between the mapped endpoints.
+func (m *Mapped) PathLinks(d Dim, channel int, src, dst Node) []LinkID {
+	// Validate the logical hop the same way the logical topology would.
+	m.logical.PathLinks(d, channel, src, dst)
+	return m.router.Route(m.perm[src], m.perm[dst], channel)
+}
+
+// Links implements Topology: the physical links.
+func (m *Mapped) Links() []LinkSpec { return m.physical.Links() }
+
+var _ Topology = (*Mapped)(nil)

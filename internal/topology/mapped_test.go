@@ -1,0 +1,182 @@
+package topology
+
+import "testing"
+
+func TestIdentityMapping(t *testing.T) {
+	p := IdentityMapping(4)
+	for i, v := range p {
+		if v != Node(i) {
+			t.Fatalf("IdentityMapping[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestNewMappedValidation(t *testing.T) {
+	log := mustTorus(t, 4, 4, 4)
+	phys := mustTorus(t, 1, 64, 1)
+	if _, err := NewMapped(log, phys, IdentityMapping(64)); err != nil {
+		t.Fatalf("valid mapping rejected: %v", err)
+	}
+	if _, err := NewMapped(log, mustTorus(t, 2, 2, 2), IdentityMapping(8)); err == nil {
+		t.Error("expected error for NPU count mismatch")
+	}
+	bad := IdentityMapping(64)
+	bad[0] = 1 // duplicate
+	if _, err := NewMapped(log, phys, bad); err == nil {
+		t.Error("expected error for non-bijective mapping")
+	}
+	if _, err := NewMapped(log, phys, IdentityMapping(63)); err == nil {
+		t.Error("expected error for short mapping")
+	}
+}
+
+// A logical 3D torus hop mapped onto a physical 1D ring becomes a
+// multi-hop route along the ring.
+func TestMappedMultiHopRoutes(t *testing.T) {
+	log := mustTorus(t, 1, 8, 8)
+	phys := mustTorus(t, 1, 64, 1)
+	m, err := NewMapped(log, phys, IdentityMapping(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Logical vertical neighbors are 8 apart in node id; the physical
+	// 1D ring needs 8 hops in one direction (or 8 the other way via the
+	// reverse channel's ring — BFS picks the shortest, which is 8
+	// either way since both directions exist physically).
+	r := m.RingOf(DimVertical, 0, 0)
+	next := r.Next(0)
+	path := m.PathLinks(DimVertical, 0, 0, next)
+	if len(path) != 8 {
+		t.Errorf("physical path length = %d, want 8 hops for a logical vertical hop", len(path))
+	}
+	// The path must be connected and end at the mapped destination.
+	links := m.Links()
+	cur := Node(0)
+	for _, id := range path {
+		if links[id].Src != cur {
+			t.Fatalf("disconnected path at link %d: src %d, at %d", id, links[id].Src, cur)
+		}
+		cur = links[id].Dst
+	}
+	if cur != next {
+		t.Errorf("path ends at %d, want %d", cur, next)
+	}
+}
+
+// Identity-mapped logical horizontal hops on the same physical ring are
+// single-hop.
+func TestMappedAdjacentStaysSingleHop(t *testing.T) {
+	log := mustTorus(t, 1, 8, 8)
+	phys := mustTorus(t, 1, 64, 1)
+	m, err := NewMapped(log, phys, IdentityMapping(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.RingOf(DimHorizontal, 0, 0)
+	next := r.Next(0)
+	path := m.PathLinks(DimHorizontal, 0, 0, next)
+	if len(path) != 1 {
+		t.Errorf("adjacent logical hop used %d physical links, want 1", len(path))
+	}
+}
+
+// Parallel physical links are spread across logical channels.
+func TestMappedChannelSpreading(t *testing.T) {
+	log := mustTorus(t, 1, 8, 8)
+	phys := mustTorus(t, 1, 64, 1)
+	m, err := NewMapped(log, phys, IdentityMapping(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := m.RingOf(DimHorizontal, 0, 0)
+	p0 := m.PathLinks(DimHorizontal, 0, 0, r0.Next(0))
+	r2 := m.RingOf(DimHorizontal, 0, 2)
+	p2 := m.PathLinks(DimHorizontal, 2, 0, r2.Next(0))
+	if p0[0] == p2[0] {
+		t.Error("channels 0 and 2 share the same physical link; parallel links unused")
+	}
+}
+
+// The logical structure (dims, groups, rings) must pass through
+// unchanged.
+func TestMappedExposesLogicalStructure(t *testing.T) {
+	log := mustTorus(t, 4, 4, 4)
+	phys := mustTorus(t, 1, 64, 1)
+	m, err := NewMapped(log, phys, IdentityMapping(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, md := log.Dims(), m.Dims()
+	for i := range ld {
+		if ld[i] != md[i] {
+			t.Errorf("dim %d: %+v vs %+v", i, ld[i], md[i])
+		}
+	}
+	if m.NumNPUs() != 64 {
+		t.Errorf("NumNPUs = %d", m.NumNPUs())
+	}
+	if got, want := len(m.Links()), len(phys.Links()); got != want {
+		t.Errorf("links = %d, want physical %d", got, want)
+	}
+}
+
+// Mapping a logical alltoall onto a physical torus (the paper's second
+// example) routes direct-exchange pairs over multi-hop ring paths.
+func TestMappedLogicalA2AOnPhysicalTorus(t *testing.T) {
+	log, err := NewA2A(1, 8, A2AConfig{LocalRings: 1, GlobalSwitches: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := mustTorus(t, 1, 8, 1)
+	m, err := NewMapped(log, phys, IdentityMapping(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := m.PathLinks(DimPackage, 0, 0, 4)
+	if len(path) != 4 {
+		t.Errorf("0 -> 4 on an 8-ring: %d hops, want 4", len(path))
+	}
+}
+
+func TestRouterHopCount(t *testing.T) {
+	tp := mustTorus(t, 1, 8, 1)
+	r := NewRouter(tp)
+	if got := r.HopCount(0, 0); got != 0 {
+		t.Errorf("HopCount(0,0) = %d", got)
+	}
+	// 0 -> 4 on an 8-ring with both directions: 4 hops either way.
+	if got := r.HopCount(0, 4); got != 4 {
+		t.Errorf("HopCount(0,4) = %d, want 4", got)
+	}
+	// 0 -> 7: 1 hop via the descending direction.
+	if got := r.HopCount(0, 7); got != 1 {
+		t.Errorf("HopCount(0,7) = %d, want 1 (shortest way around)", got)
+	}
+	if p := r.Route(0, 0, 0); p != nil {
+		t.Errorf("Route(0,0) = %v, want nil", p)
+	}
+}
+
+func TestRouterRoutesAreConnected(t *testing.T) {
+	tp := mustTorus(t, 2, 4, 2)
+	r := NewRouter(tp)
+	links := tp.Links()
+	for src := 0; src < tp.NumNPUs(); src++ {
+		for dst := 0; dst < tp.NumNPUs(); dst++ {
+			path := r.Route(Node(src), Node(dst), 1)
+			cur := Node(src)
+			for _, id := range path {
+				if links[id].Src != cur {
+					t.Fatalf("route %d->%d broken at link %d", src, dst, id)
+				}
+				cur = links[id].Dst
+			}
+			if cur != Node(dst) {
+				t.Fatalf("route %d->%d ends at %d", src, dst, cur)
+			}
+			if len(path) != r.HopCount(Node(src), Node(dst)) {
+				t.Fatalf("route length %d != hop count %d", len(path), r.HopCount(Node(src), Node(dst)))
+			}
+		}
+	}
+}

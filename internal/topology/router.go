@@ -1,0 +1,117 @@
+package topology
+
+import "fmt"
+
+// Router computes shortest-path multi-hop routes over a topology's
+// physical links — the hardware-routing machinery (Table III #14) shared
+// by the Mapped overlay and the system layer's point-to-point sends.
+type Router struct {
+	topo Topology
+	adj  map[Node][]LinkSpec
+	// nextHop[src][dst] is the neighbor to take from src toward dst
+	// (-1 = unreachable or src == dst).
+	nextHop [][]Node
+}
+
+// NewRouter builds the BFS next-hop tables for every physical node
+// (switches included).
+func NewRouter(topo Topology) *Router {
+	r := &Router{topo: topo}
+	total := topo.NumNodes()
+	r.adj = make(map[Node][]LinkSpec)
+	neighbors := make(map[Node][]Node)
+	seenEdge := make(map[[2]Node]bool)
+	for _, l := range topo.Links() {
+		r.adj[l.Src] = append(r.adj[l.Src], l)
+		key := [2]Node{l.Src, l.Dst}
+		if !seenEdge[key] {
+			seenEdge[key] = true
+			neighbors[l.Src] = append(neighbors[l.Src], l.Dst)
+		}
+	}
+	r.nextHop = make([][]Node, total)
+	for src := 0; src < total; src++ {
+		r.nextHop[src] = make([]Node, total)
+		for i := range r.nextHop[src] {
+			r.nextHop[src][i] = -1
+		}
+		prev := make([]Node, total)
+		for i := range prev {
+			prev[i] = -1
+		}
+		queue := []Node{Node(src)}
+		visited := make([]bool, total)
+		visited[src] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range neighbors[cur] {
+				if !visited[nb] {
+					visited[nb] = true
+					prev[nb] = cur
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for dst := 0; dst < total; dst++ {
+			if dst == src || prev[dst] == -1 {
+				continue
+			}
+			hop := Node(dst)
+			for prev[hop] != Node(src) {
+				hop = prev[hop]
+			}
+			r.nextHop[src][dst] = hop
+		}
+	}
+	return r
+}
+
+// Route returns the link path from src to dst, choosing among parallel
+// physical links by channel. Panics if dst is unreachable.
+func (r *Router) Route(src, dst Node, channel int) []LinkID {
+	if src == dst {
+		return nil
+	}
+	var path []LinkID
+	cur := src
+	for cur != dst {
+		hop := r.nextHop[cur][dst]
+		if hop < 0 {
+			panic(fmt.Sprintf("topology: no route %d -> %d on %s", src, dst, r.topo.Name()))
+		}
+		var candidates []LinkSpec
+		for _, l := range r.adj[cur] {
+			if l.Dst == hop {
+				candidates = append(candidates, l)
+			}
+		}
+		// Spread logical channels over parallel physical links. Ring
+		// channels come in direction pairs (even/odd), so a plain modulo
+		// would collide channels 0 and 2; mixing in channel/2 separates
+		// them.
+		idx := (channel + channel/2) % len(candidates)
+		path = append(path, candidates[idx].ID)
+		cur = hop
+	}
+	return path
+}
+
+// HopCount returns the number of link hops from src to dst (0 if equal,
+// -1 if unreachable).
+func (r *Router) HopCount(src, dst Node) int {
+	if src == dst {
+		return 0
+	}
+	n := 0
+	cur := src
+	for cur != dst {
+		hop := r.nextHop[cur][dst]
+		if hop < 0 {
+			return -1
+		}
+		cur = hop
+		n++
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+// Package trace records simulation activity as Chrome trace events (the
+// Trace Event / "Catapult" JSON format readable by chrome://tracing and
+// Perfetto). The workload layer emits compute and stall spans, and the
+// system layer emits one span per chunk-phase, so a training run unfolds
+// into an inspectable timeline: rows of layers computing, collectives
+// pipelining through their phases, and exposed-communication gaps.
+//
+// Timestamps are simulation cycles reported as microseconds at the 1 GHz
+// clock (1000 cycles = 1 us), so Perfetto's time axis reads directly in
+// wall-clock units.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"astrasim/internal/eventq"
+)
+
+// Event is one Trace Event ("X" complete spans only).
+type Event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Recorder accumulates events. A nil *Recorder is valid and records
+// nothing, so instrumentation sites need no nil checks beyond the method
+// call itself.
+type Recorder struct {
+	events []Event
+	names  map[int]string // pid -> process label
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{names: make(map[int]string)} }
+
+// Enabled reports whether spans will be kept.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// cyclesToUS converts simulation cycles to microseconds at 1 GHz.
+func cyclesToUS(c eventq.Time) float64 { return float64(c) / 1000 }
+
+// Span records one complete span on (pid, tid) from start for dur cycles.
+func (r *Recorder) Span(name, cat string, pid, tid int, start, dur eventq.Time, args map[string]string) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{
+		Name: name, Cat: cat, Ph: "X",
+		TS: cyclesToUS(start), Dur: cyclesToUS(dur),
+		PID: pid, TID: tid, Args: args,
+	})
+}
+
+// NameProcess labels a pid row group (e.g. "layer conv2_ab").
+func (r *Recorder) NameProcess(pid int, name string) {
+	if r == nil {
+		return
+	}
+	r.names[pid] = name
+}
+
+// Len reports the number of recorded spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// WriteJSON emits the Trace Event JSON array (metadata first, then spans
+// sorted by timestamp).
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "[]")
+		return err
+	}
+	type meta struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		PID  int               `json:"pid"`
+		Args map[string]string `json:"args"`
+	}
+	var out []any
+	pids := make([]int, 0, len(r.names))
+	for pid := range r.names {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		out = append(out, meta{Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]string{"name": r.names[pid]}})
+	}
+	evs := append([]Event(nil), r.events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+	for _, e := range evs {
+		out = append(out, e)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// PhaseSpanName builds the conventional chunk-phase span label.
+func PhaseSpanName(phaseIdx int, desc string) string {
+	return fmt.Sprintf("P%d %s", phaseIdx+1, desc)
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder should not be enabled")
+	}
+	r.Span("x", "y", 0, 0, 1, 2, nil) // must not panic
+	r.NameProcess(1, "p")
+	if r.Len() != 0 {
+		t.Error("nil recorder recorded something")
+	}
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "[]" {
+		t.Errorf("nil recorder JSON = %q, want []", b.String())
+	}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	r := New()
+	r.NameProcess(1, "collective 1")
+	r.Span("P1 local", "phase", 1, 0, 1000, 500, map[string]string{"chunk": "0"})
+	r.Span("P2 vertical", "phase", 1, 0, 1500, 3000, nil)
+	r.Span("fwd conv1", "compute", 0, 0, 0, 100, nil)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &evs); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(evs) != 4 { // 1 metadata + 3 spans
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	if evs[0]["ph"] != "M" || evs[0]["name"] != "process_name" {
+		t.Errorf("first event should be process metadata: %v", evs[0])
+	}
+	// Spans sorted by timestamp: compute at 0 first.
+	if evs[1]["name"] != "fwd conv1" {
+		t.Errorf("spans not time-sorted: %v", evs[1])
+	}
+	// Cycle -> microsecond conversion (1000 cycles = 1 us).
+	if evs[2]["ts"].(float64) != 1.0 || evs[2]["dur"].(float64) != 0.5 {
+		t.Errorf("P1 ts/dur = %v/%v, want 1/0.5 us", evs[2]["ts"], evs[2]["dur"])
+	}
+	if evs[2]["args"].(map[string]any)["chunk"] != "0" {
+		t.Errorf("args lost: %v", evs[2])
+	}
+}
+
+func TestPhaseSpanName(t *testing.T) {
+	if got := PhaseSpanName(1, "ring ALLREDUCE(4)"); got != "P2 ring ALLREDUCE(4)" {
+		t.Errorf("PhaseSpanName = %q", got)
+	}
+}

@@ -1,0 +1,300 @@
+package workload
+
+import (
+	"fmt"
+
+	"astrasim/internal/eventq"
+	"astrasim/internal/system"
+	"astrasim/internal/topology"
+)
+
+// PipelineConfig describes a GPipe-style pipeline-parallel execution —
+// the third parallelization strategy §III-A names ("data parallelism,
+// model parallelism, pipelined parallelism, or some combination").
+// Layers are partitioned into consecutive stages, each hosted on one NPU;
+// a minibatch is split into microbatches that flow through the stages,
+// with activation tensors crossing each stage boundary point-to-point in
+// the forward direction and gradient tensors in the backward direction.
+type PipelineConfig struct {
+	// Boundaries are the layer indices where a new stage begins
+	// (ascending, exclusive of 0): with L layers and Boundaries [a, b],
+	// stage 0 = layers [0,a), stage 1 = [a,b), stage 2 = [b,L).
+	Boundaries []int
+	// StageNodes lists the NPU hosting each stage (len(Boundaries)+1).
+	StageNodes []topology.Node
+	// Microbatches is how many microbatches the minibatch splits into.
+	Microbatches int
+	// BoundaryBytes[s] is the activation (and gradient) tensor size
+	// crossing the boundary between stage s and s+1, per microbatch.
+	BoundaryBytes []int64
+	// Schedule selects the per-stage job order (default GPipe).
+	Schedule PipelineSchedule
+}
+
+// PipelineSchedule orders a stage's pending microbatch work.
+type PipelineSchedule int
+
+const (
+	// GPipeSchedule runs jobs in arrival order: all forwards flow
+	// through, then all backwards (Huang et al. 2019).
+	GPipeSchedule PipelineSchedule = iota
+	// OneFOneBSchedule prioritizes backward jobs over queued forward
+	// jobs (PipeDream-style 1F1B): backwards start as soon as they
+	// arrive, draining the pipeline earlier and bounding the number of
+	// in-flight activations.
+	OneFOneBSchedule
+)
+
+func (s PipelineSchedule) String() string {
+	if s == OneFOneBSchedule {
+		return "1F1B"
+	}
+	return "GPipe"
+}
+
+// Validate reports the first inconsistency.
+func (c PipelineConfig) Validate(layers int) error {
+	s := len(c.Boundaries) + 1
+	if s < 2 {
+		return fmt.Errorf("workload: pipeline needs >= 2 stages")
+	}
+	if len(c.StageNodes) != s {
+		return fmt.Errorf("workload: %d stage nodes for %d stages", len(c.StageNodes), s)
+	}
+	if c.Microbatches <= 0 {
+		return fmt.Errorf("workload: microbatches must be positive")
+	}
+	if len(c.BoundaryBytes) != s-1 {
+		return fmt.Errorf("workload: %d boundary sizes for %d boundaries", len(c.BoundaryBytes), s-1)
+	}
+	prev := 0
+	for _, b := range c.Boundaries {
+		if b <= prev || b >= layers {
+			return fmt.Errorf("workload: boundary %d out of order or range (layers=%d)", b, layers)
+		}
+		prev = b
+	}
+	for i, b := range c.BoundaryBytes {
+		if b <= 0 {
+			return fmt.Errorf("workload: boundary %d bytes must be positive", i)
+		}
+	}
+	return nil
+}
+
+// AutoPartition cuts the definition into stages of roughly equal total
+// compute (greedy prefix sums) and returns the boundaries.
+func AutoPartition(def Definition, stages int) []int {
+	if stages < 2 || stages > len(def.Layers) {
+		return nil
+	}
+	total := def.TotalComputeCycles()
+	per := total / uint64(stages)
+	var boundaries []int
+	var acc uint64
+	for i, l := range def.Layers {
+		acc += l.FwdCompute + l.IGCompute + l.WGCompute
+		if acc >= per && len(boundaries) < stages-1 && i+1 < len(def.Layers) {
+			boundaries = append(boundaries, i+1)
+			acc = 0
+		}
+	}
+	// Degenerate compute distributions may leave too few cuts; fill from
+	// the tail with unused indices.
+	used := make(map[int]bool, len(boundaries))
+	for _, b := range boundaries {
+		used[b] = true
+	}
+	for i := len(def.Layers) - 1; i >= 1 && len(boundaries) < stages-1; i-- {
+		if !used[i] {
+			used[i] = true
+			boundaries = append(boundaries, i)
+		}
+	}
+	sortInts(boundaries)
+	return boundaries
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// PipelineStageStats is one stage's accounting.
+type PipelineStageStats struct {
+	Node          topology.Node
+	Layers        int
+	ComputeCycles uint64
+	// Utilization is compute / total wall time.
+	Utilization float64
+}
+
+// PipelineResult is the outcome of a pipeline-parallel simulation.
+type PipelineResult struct {
+	TotalCycles eventq.Time
+	Stages      []PipelineStageStats
+	// BubbleRatio is the idle fraction across stages (the pipeline
+	// "bubble"): 1 - sum(compute) / (stages x total).
+	BubbleRatio float64
+}
+
+// pipeJob is one (microbatch, direction) unit of work on a stage.
+type pipeJob struct {
+	micro    int
+	backward bool
+	cycles   uint64
+	done     func()
+}
+
+// pipeStage executes jobs one at a time, ordered by the schedule.
+type pipeStage struct {
+	eng      *eventq.Engine
+	node     topology.Node
+	schedule PipelineSchedule
+	busy     bool
+	queue    []pipeJob
+	compute  uint64
+}
+
+func (st *pipeStage) enqueue(j pipeJob) {
+	if st.schedule == OneFOneBSchedule && j.backward {
+		// Backward jobs overtake queued forward jobs (stable among
+		// backwards).
+		at := len(st.queue)
+		for i, q := range st.queue {
+			if !q.backward {
+				at = i
+				break
+			}
+		}
+		rest := append([]pipeJob{}, st.queue[at:]...)
+		st.queue = append(append(st.queue[:at:at], j), rest...)
+	} else {
+		st.queue = append(st.queue, j)
+	}
+	st.kick()
+}
+
+func (st *pipeStage) kick() {
+	if st.busy || len(st.queue) == 0 {
+		return
+	}
+	j := st.queue[0]
+	st.queue = st.queue[1:]
+	st.busy = true
+	st.eng.Schedule(eventq.Time(j.cycles), func() {
+		st.compute += j.cycles
+		st.busy = false
+		j.done()
+		st.kick()
+	})
+}
+
+// RunPipeline simulates GPipe-style pipeline-parallel training of def for
+// the given number of passes over inst's fabric. Each stage's per-layer
+// compute is divided evenly across microbatches; stage-boundary tensors
+// travel point-to-point over the shortest physical route. Collective
+// fields of the definition are ignored (pure pipeline: no gradient
+// exchange between the single replicas).
+func RunPipeline(inst *system.Instance, def Definition, cfg PipelineConfig, passes int) (PipelineResult, error) {
+	if err := def.Validate(); err != nil {
+		return PipelineResult{}, err
+	}
+	if err := cfg.Validate(len(def.Layers)); err != nil {
+		return PipelineResult{}, err
+	}
+	if passes <= 0 {
+		return PipelineResult{}, fmt.Errorf("workload: passes must be positive")
+	}
+	numStages := len(cfg.Boundaries) + 1
+	M := cfg.Microbatches
+
+	// Per-stage compute per microbatch.
+	bounds := append(append([]int{0}, cfg.Boundaries...), len(def.Layers))
+	fwd := make([]uint64, numStages)
+	bwd := make([]uint64, numStages)
+	layerCount := make([]int, numStages)
+	for s := 0; s < numStages; s++ {
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			l := def.Layers[i]
+			fwd[s] += l.FwdCompute / uint64(M)
+			bwd[s] += (l.IGCompute + l.WGCompute) / uint64(M)
+			layerCount[s]++
+		}
+	}
+
+	stages := make([]*pipeStage, numStages)
+	for s := range stages {
+		stages[s] = &pipeStage{eng: inst.Eng, node: cfg.StageNodes[s], schedule: cfg.Schedule}
+	}
+
+	finished := false
+	var endAt eventq.Time
+	bwdDone := 0
+	var runPass func(pass int)
+
+	var fwdStart, bwdStart func(pass, s, m int)
+	fwdStart = func(pass, s, m int) {
+		stages[s].enqueue(pipeJob{micro: m, cycles: fwd[s], done: func() {
+			if s+1 < numStages {
+				err := inst.Sys.SendPointToPoint(cfg.StageNodes[s], cfg.StageNodes[s+1],
+					cfg.BoundaryBytes[s], func() { fwdStart(pass, s+1, m) })
+				if err != nil {
+					panic(err)
+				}
+				return
+			}
+			// Last stage: loss gradient available immediately.
+			bwdStart(pass, s, m)
+		}})
+	}
+	bwdStart = func(pass, s, m int) {
+		stages[s].enqueue(pipeJob{micro: m, backward: true, cycles: bwd[s], done: func() {
+			if s > 0 {
+				err := inst.Sys.SendPointToPoint(cfg.StageNodes[s], cfg.StageNodes[s-1],
+					cfg.BoundaryBytes[s-1], func() { bwdStart(pass, s-1, m) })
+				if err != nil {
+					panic(err)
+				}
+				return
+			}
+			bwdDone++
+			if bwdDone == M {
+				bwdDone = 0
+				if pass+1 < passes {
+					runPass(pass + 1)
+					return
+				}
+				finished = true
+				endAt = inst.Eng.Now()
+			}
+		}})
+	}
+	runPass = func(pass int) {
+		for m := 0; m < M; m++ {
+			fwdStart(pass, 0, m)
+		}
+	}
+	runPass(0)
+	inst.Eng.Run()
+	if !finished {
+		return PipelineResult{}, fmt.Errorf("workload: pipeline did not complete")
+	}
+
+	res := PipelineResult{TotalCycles: endAt}
+	var totalCompute uint64
+	for s, st := range stages {
+		totalCompute += st.compute
+		res.Stages = append(res.Stages, PipelineStageStats{
+			Node:          st.node,
+			Layers:        layerCount[s],
+			ComputeCycles: st.compute,
+			Utilization:   float64(st.compute) / float64(endAt),
+		})
+	}
+	res.BubbleRatio = 1 - float64(totalCompute)/(float64(numStages)*float64(endAt))
+	return res, nil
+}

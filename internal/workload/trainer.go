@@ -1,0 +1,292 @@
+package workload
+
+import (
+	"fmt"
+
+	"astrasim/internal/collectives"
+	"astrasim/internal/eventq"
+	"astrasim/internal/system"
+)
+
+// LayerStats accumulates one layer's costs over the whole run.
+type LayerStats struct {
+	Name string
+	// ComputeCycles sums forward, input-gradient and weight-gradient
+	// compute across all passes.
+	ComputeCycles uint64
+	// Raw collective durations (creation to completion), regardless of
+	// how much was hidden under compute.
+	FwdCommCycles, IGCommCycles, WGCommCycles uint64
+	// ExposedCycles is stall time: cycles the training loop could not
+	// proceed because one of this layer's collectives (plus its local
+	// update) had not finished.
+	ExposedCycles uint64
+	// Handles retains the layer's collectives for per-phase breakdowns
+	// (Fig. 16).
+	FwdHandles, IGHandles, WGHandles []*system.Handle
+}
+
+// TotalCommCycles sums the raw collective time of all three passes.
+func (s LayerStats) TotalCommCycles() uint64 {
+	return s.FwdCommCycles + s.IGCommCycles + s.WGCommCycles
+}
+
+// Result is the outcome of a training simulation.
+type Result struct {
+	// TotalCycles is the wall-clock simulated time for all passes,
+	// including the final weight-update drain.
+	TotalCycles eventq.Time
+	Passes      int
+	Layers      []LayerStats
+}
+
+// TotalCompute sums per-layer compute cycles.
+func (r Result) TotalCompute() uint64 {
+	var t uint64
+	for _, l := range r.Layers {
+		t += l.ComputeCycles
+	}
+	return t
+}
+
+// TotalExposed sums per-layer exposed communication.
+func (r Result) TotalExposed() uint64 {
+	var t uint64
+	for _, l := range r.Layers {
+		t += l.ExposedCycles
+	}
+	return t
+}
+
+// TotalComm sums per-layer raw communication.
+func (r Result) TotalComm() uint64 {
+	var t uint64
+	for _, l := range r.Layers {
+		t += l.TotalCommCycles()
+	}
+	return t
+}
+
+// ExposedRatio is exposed communication as a fraction of total runtime
+// (the Fig. 17/18 metric).
+func (r Result) ExposedRatio() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(r.TotalExposed()) / float64(r.TotalCycles)
+}
+
+// pendingComm tracks one issued collective whose completion (plus the
+// layer's local update time) something may need to wait on.
+type pendingComm struct {
+	t         *Trainer
+	stats     *LayerStats
+	done      bool
+	readyAt   eventq.Time
+	waiter    func()
+	waitStart eventq.Time
+}
+
+// wait runs k once the collective's data is usable, charging any stall to
+// the layer's exposed time.
+func (pc *pendingComm) wait(k func()) {
+	if pc == nil {
+		k()
+		return
+	}
+	now := pc.t.eng.Now()
+	if pc.done {
+		if now >= pc.readyAt {
+			k()
+			return
+		}
+		pc.stats.ExposedCycles += uint64(pc.readyAt - now)
+		pc.t.traceSpan("exposed "+pc.stats.Name, "exposed", now, pc.readyAt-now)
+		pc.t.eng.At(pc.readyAt, k)
+		return
+	}
+	if pc.waiter != nil {
+		panic("workload: two waiters on one collective")
+	}
+	pc.waiter = k
+	pc.waitStart = now
+}
+
+// Trainer runs the training loop of a Definition over a system instance.
+// It models one NPU's (SPMD-symmetric) timeline: compute advances the
+// clock, collectives run concurrently in the system/network layers, and
+// dependencies (weights for the next iteration's forward pass, activations
+// and input gradients within a pass) stall the loop, producing exposed
+// communication time.
+type Trainer struct {
+	inst   *system.Instance
+	def    Definition
+	passes int
+
+	eng    *eventq.Engine
+	stats  []LayerStats
+	wgComm []*pendingComm
+
+	finished bool
+	endTime  eventq.Time
+}
+
+// NewTrainer validates inputs and prepares a run.
+func NewTrainer(inst *system.Instance, def Definition, passes int) (*Trainer, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	if passes <= 0 {
+		return nil, fmt.Errorf("workload: passes must be positive, got %d", passes)
+	}
+	t := &Trainer{
+		inst: inst, def: def, passes: passes,
+		eng:    inst.Eng,
+		stats:  make([]LayerStats, len(def.Layers)),
+		wgComm: make([]*pendingComm, len(def.Layers)),
+	}
+	for i, l := range def.Layers {
+		t.stats[i].Name = l.Name
+	}
+	inst.Sys.Tracer.NameProcess(0, "training loop ("+def.Name+")")
+	return t, nil
+}
+
+// Run simulates all passes to completion and returns the result.
+func (t *Trainer) Run() (Result, error) {
+	t.forward(0, 0)
+	t.eng.Run()
+	if !t.finished {
+		return Result{}, fmt.Errorf("workload %s: training did not complete (%d events fired)",
+			t.def.Name, t.eng.Fired())
+	}
+	return Result{TotalCycles: t.endTime, Passes: t.passes, Layers: t.stats}, nil
+}
+
+// delay advances the layer timeline by cycles, then runs k.
+func (t *Trainer) delay(cycles uint64, k func()) {
+	if cycles == 0 {
+		k()
+		return
+	}
+	t.eng.Schedule(eventq.Time(cycles), k)
+}
+
+// traceSpan records one training-loop span (pid 0) when tracing is on.
+func (t *Trainer) traceSpan(name, cat string, start, dur eventq.Time) {
+	t.inst.Sys.Tracer.Span(name, cat, 0, 0, start, dur, nil)
+}
+
+// compute advances the timeline by cycles as a named, traced compute span
+// and accrues it to the layer.
+func (t *Trainer) compute(st *LayerStats, pass string, cycles uint64, k func()) {
+	start := t.eng.Now()
+	t.delay(cycles, func() {
+		st.ComputeCycles += cycles
+		if cycles > 0 {
+			t.traceSpan(pass+" "+st.Name, "compute", start, eventq.Time(cycles))
+		}
+		k()
+	})
+}
+
+// issue starts a collective for layer l and returns its pendingComm (nil
+// when the pass has no communication). raw accumulates the collective's
+// duration; handles retains the handle for breakdown reports.
+func (t *Trainer) issue(l int, op collectives.Op, scope Scope, bytes int64, tag string, raw *uint64, handles *[]*system.Handle) *pendingComm {
+	if op == collectives.None || bytes <= 0 {
+		return nil
+	}
+	layer := t.def.Layers[l]
+	pc := &pendingComm{t: t, stats: &t.stats[l]}
+	dims, err := scope.Dims()
+	if err != nil {
+		panic(fmt.Sprintf("workload: layer %s scope %q: %v", layer.Name, scope, err))
+	}
+	// The layer index doubles as the collective's priority: under the
+	// Priority policy, earlier layers' gradients overtake later ones in
+	// the ready queue (§III-E).
+	h, err := t.inst.Sys.Issue(system.CollectiveSpec{
+		Op: op, Bytes: bytes, Tag: fmt.Sprintf("%s %s", layer.Name, tag),
+		Priority: l, Scope: dims,
+	}, func(h *system.Handle) {
+		*raw += uint64(h.Duration())
+		pc.done = true
+		pc.readyAt = t.eng.Now() + eventq.Time(layer.UpdateCycles(bytes))
+		if pc.waiter != nil {
+			k := pc.waiter
+			pc.waiter = nil
+			pc.stats.ExposedCycles += uint64(pc.readyAt - pc.waitStart)
+			t.traceSpan("exposed "+pc.stats.Name, "exposed", pc.waitStart, pc.readyAt-pc.waitStart)
+			t.eng.At(pc.readyAt, k)
+		}
+	})
+	if err != nil {
+		// Sizes were validated up front; an error here is a bug.
+		panic(fmt.Sprintf("workload: issuing %v for layer %s: %v", op, layer.Name, err))
+	}
+	*handles = append(*handles, h)
+	return pc
+}
+
+// forward runs layer l's forward pass of the given iteration.
+func (t *Trainer) forward(pass, l int) {
+	if l == len(t.def.Layers) {
+		t.backward(pass, l-1)
+		return
+	}
+	layer := t.def.Layers[l]
+	st := &t.stats[l]
+	// The previous iteration's weight-gradient all-reduce (plus local
+	// update) must have finished before this layer's forward pass.
+	t.wgComm[l].wait(func() {
+		t.compute(st, "fwd", layer.FwdCompute, func() {
+			// Output activations are needed by the next layer: a
+			// forward-pass collective is fully blocking (§V-E).
+			pc := t.issue(l, layer.FwdComm, layer.FwdScope, layer.FwdBytes, "fwd", &st.FwdCommCycles, &st.FwdHandles)
+			pc.wait(func() { t.forward(pass, l+1) })
+		})
+	})
+}
+
+// backward runs layer l's back-propagation of the given iteration.
+func (t *Trainer) backward(pass, l int) {
+	if l < 0 {
+		t.endPass(pass)
+		return
+	}
+	layer := t.def.Layers[l]
+	st := &t.stats[l]
+	t.compute(st, "ig", layer.IGCompute, func() {
+		// Input-gradient communication (model/hybrid parallel) can
+		// overlap this layer's weight-gradient compute, but blocks
+		// moving to the layer below.
+		ig := t.issue(l, layer.IGComm, layer.IGScope, layer.IGBytes, "ig", &st.IGCommCycles, &st.IGHandles)
+		t.compute(st, "wg", layer.WGCompute, func() {
+			// Weight-gradient all-reduce overlaps everything until the
+			// next iteration's forward pass of this layer.
+			t.wgComm[l] = t.issue(l, layer.WGComm, layer.WGScope, layer.WGBytes, "wg", &st.WGCommCycles, &st.WGHandles)
+			ig.wait(func() { t.backward(pass, l-1) })
+		})
+	})
+}
+
+// endPass starts the next iteration or drains outstanding weight updates.
+func (t *Trainer) endPass(pass int) {
+	if pass+1 < t.passes {
+		t.forward(pass+1, 0)
+		return
+	}
+	t.drain(0)
+}
+
+// drain waits for every layer's final weight-gradient collective, in layer
+// order, attributing any remaining stall to the owning layer.
+func (t *Trainer) drain(l int) {
+	if l == len(t.def.Layers) {
+		t.finished = true
+		t.endTime = t.eng.Now()
+		return
+	}
+	t.wgComm[l].wait(func() { t.drain(l + 1) })
+}
