@@ -8,23 +8,31 @@
 //	collectives -op allreduce -topology 4x4x4 -size 64MB [-algorithm enhanced]
 //	collectives -op alltoall -topology a2a:1x8 -switches 7 -size 4MB
 //	collectives -op allreduce -topology 2x2x2x2x2 -size 16MB   # 5D torus
+//	collectives -op allreduce -size 1MB,4MB,16MB -parallel 4   # size sweep
 //
 // Topologies: "MxNxK" builds a hierarchical torus (local x horizontal x
 // vertical); more than three dimensions builds the N-dimensional torus
 // extension; "a2a:MxN" builds a hierarchical alltoall with -switches
 // global switches.
+//
+// -size accepts a comma-separated list; the points run as independent
+// simulations fanned across -parallel worker goroutines (default: all
+// CPUs) and are reported in list order, so output is identical for any
+// worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"astrasim/internal/cli"
 	"astrasim/internal/collectives"
 	"astrasim/internal/config"
 	"astrasim/internal/energy"
+	"astrasim/internal/parallel"
 	"astrasim/internal/system"
 	"astrasim/internal/topology"
 )
@@ -32,7 +40,7 @@ import (
 func main() {
 	opFlag := flag.String("op", "allreduce", "collective: reducescatter|allgather|allreduce|alltoall")
 	topoFlag := flag.String("topology", "4x4x4", "torus MxNxK (or N-D), or alltoall a2a:MxN")
-	sizeFlag := flag.String("size", "4MB", "collective set size (supports KB/MB/GB suffixes)")
+	sizeFlag := flag.String("size", "4MB", "collective set size(s), comma-separated (supports KB/MB/GB suffixes)")
 	algFlag := flag.String("algorithm", "baseline", "baseline or enhanced hierarchical algorithm")
 	policyFlag := flag.String("scheduling-policy", "LIFO", "LIFO or FIFO ready-queue order")
 	switches := flag.Int("switches", 2, "global switches (alltoall topology)")
@@ -41,6 +49,7 @@ func main() {
 	verticalRings := flag.Int("vertical-rings", 2, "bidirectional vertical rings")
 	splits := flag.Int("preferred-set-splits", config.DefaultSystem().PreferredSetSplits, "chunks per set")
 	symmetric := flag.Bool("symmetric", false, "make local links identical to inter-package links")
+	workers := flag.Int("parallel", runtime.NumCPU(), "worker goroutines when sweeping multiple sizes (1 = serial)")
 	flag.Parse()
 
 	op, err := collectives.ParseOp(strings.ToUpper(*opFlag))
@@ -55,9 +64,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	size, err := cli.ParseSize(*sizeFlag)
-	if err != nil {
-		fatal(err)
+	sizeSpecs := strings.Split(*sizeFlag, ",")
+	sizes := make([]int64, len(sizeSpecs))
+	for i, spec := range sizeSpecs {
+		if sizes[i], err = cli.ParseSize(strings.TrimSpace(spec)); err != nil {
+			fatal(err)
+		}
 	}
 
 	cfg := config.DefaultSystem()
@@ -81,21 +93,45 @@ func main() {
 		net.LocalPacketSize = net.PackagePacketSize
 	}
 
-	inst, err := system.NewInstance(topo, cfg, net)
+	// Each size is an independent simulation (fresh engine/network per
+	// run, topology shared read-only); fan them across the worker pool
+	// and print in submission order.
+	type result struct {
+		inst *system.Instance
+		h    *system.Handle
+	}
+	results, err := parallel.Map(parallel.New(*workers), len(sizes), func(i int) (result, error) {
+		inst, err := system.NewInstance(topo, cfg, net)
+		if err != nil {
+			return result{}, err
+		}
+		done := false
+		h, err := inst.Sys.IssueCollective(op, sizes[i], op.String(), func(*system.Handle) { done = true })
+		if err != nil {
+			return result{}, err
+		}
+		inst.Eng.Run()
+		if !done {
+			return result{}, fmt.Errorf("collective of %d bytes did not complete", sizes[i])
+		}
+		return result{inst: inst, h: h}, nil
+	})
 	if err != nil {
 		fatal(err)
 	}
-	done := false
-	h, err := inst.Sys.IssueCollective(op, size, op.String(), func(*system.Handle) { done = true })
-	if err != nil {
-		fatal(err)
+	for i, r := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		printResult(op, strings.TrimSpace(sizeSpecs[i]), *algFlag, r.inst, r.h)
 	}
-	inst.Eng.Run()
-	if !done {
-		fatal(fmt.Errorf("collective did not complete"))
-	}
+}
+
+// printResult reports one run: total time, traffic, energy, per-phase
+// breakdown, and link utilization.
+func printResult(op collectives.Op, sizeSpec, alg string, inst *system.Instance, h *system.Handle) {
 	fmt.Printf("%v of %s on %s (%s algorithm, %d NPUs)\n",
-		op, *sizeFlag, topo.Name(), alg, topo.NumNPUs())
+		op, sizeSpec, inst.Topo.Name(), alg, inst.Topo.NumNPUs())
 	fmt.Printf("total communication time: %d cycles (%.3f us at 1 GHz)\n",
 		h.Duration(), float64(h.Duration())/1000)
 	intra, inter, scaleOut := inst.Net.TotalBytesByClass()

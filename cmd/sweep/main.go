@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	sweep [-fig all|fig09|fig10|...|fig18] [-out results] [-quick]
+//	sweep [-fig all|fig09|fig10|...|fig18] [-out results] [-quick] [-parallel N]
 //
 // Full mode sweeps the paper's message-size ranges and runs two training
 // iterations of ResNet-50 and Transformer; -quick shrinks everything for a
 // fast smoke run.
+//
+// Each figure's independent simulation points fan out across -parallel
+// worker goroutines (default: all CPUs). Every point still runs on its own
+// single-threaded deterministic engine and results are collected in
+// submission order, so the CSV output is byte-identical for every
+// -parallel value; see DESIGN.md "Parallel execution model".
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,12 +34,14 @@ func main() {
 	out := flag.String("out", "results", "output directory for CSV files")
 	quick := flag.Bool("quick", false, "reduced sizes/iterations for a fast smoke run")
 	ext := flag.Bool("ext", false, "also run the future-work extension studies with -fig all")
+	workers := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation points (1 = serial)")
 	flag.Parse()
 
 	opts := experiments.Full()
 	if *quick {
 		opts = experiments.Quick()
 	}
+	opts.Workers = *workers
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}

@@ -7,10 +7,17 @@
 // (1 cycle = 1 ns at the default 1 GHz clock). Events scheduled for the
 // same cycle fire in insertion order, which makes every simulation run
 // bit-reproducible.
+//
+// The queue is a value-based binary heap: events are stored inline in one
+// backing slice rather than as individually heap-allocated nodes, so the
+// steady-state Schedule→Step cycle performs zero allocations — the slice
+// itself is the free list, its vacated slots reused by later events. Hot
+// callers that would otherwise allocate a closure per event can use Call /
+// CallAt, which carry a static function plus two pointer-shaped arguments
+// inline in the event.
 package eventq
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -21,39 +28,85 @@ type Time uint64
 // event's scheduled time; Engine.Now reports that time during the call.
 type Handler func()
 
+// CallFunc is the allocation-free event callback form: a static function
+// receiving the two arguments captured at schedule time. Both arguments
+// are pointer-shaped (a *T or a func value), so storing them in the event
+// does not allocate.
+type CallFunc func(a, b any)
+
+// event is stored by value inside the heap slice. Exactly one of h / fn
+// is set.
 type event struct {
-	at      Time
-	seq     uint64 // tie-breaker: insertion order within the same cycle
-	handler Handler
+	at  Time
+	seq uint64 // tie-breaker: insertion order within the same cycle
+	h   Handler
+	fn  CallFunc
+	a,
+	b any
 }
 
-type eventHeap []*event
+// eventHeap is a hand-rolled binary min-heap over inline event values,
+// ordered by (at, seq). container/heap is avoided deliberately: its
+// interface forces every push through an `any` boxing allocation.
+type eventHeap struct {
+	items []event
+}
 
-func (h eventHeap) Len() int { return len(h) }
+func (h *eventHeap) len() int { return len(h.items) }
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) push(ev event) {
+	h.items = append(h.items, ev)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+func (h *eventHeap) pop() event {
+	n := len(h.items)
+	root := h.items[0]
+	h.items[0] = h.items[n-1]
+	// Clear the vacated slot so the heap does not retain the handler
+	// closure (and whatever it captures) after the event fired.
+	h.items[n-1] = event{}
+	h.items = h.items[:n-1]
+	n--
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h.less(right, left) {
+			child = right
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h.items[i], h.items[child] = h.items[child], h.items[i]
+		i = child
+	}
+	return root
 }
 
 // Engine is a discrete-event simulation engine. The zero value is ready to
-// use. Engine is not safe for concurrent use; the whole simulator is
-// single-threaded by design so that runs are deterministic.
+// use. Engine is not safe for concurrent use; each simulation run is
+// single-threaded by design so that runs are deterministic (parallel
+// sweeps run one independent Engine per goroutine — see internal/parallel).
 type Engine struct {
 	now     Time
 	seq     uint64
@@ -69,7 +122,7 @@ func New() *Engine { return &Engine{} }
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of events waiting to fire.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
 
 // Fired reports how many events have been executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -89,18 +142,42 @@ func (e *Engine) At(at Time, h Handler) {
 		panic(fmt.Sprintf("eventq: scheduling into the past (at=%d now=%d)", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, handler: h})
+	e.queue.push(event{at: at, seq: e.seq, h: h})
+}
+
+// Call enqueues fn(a, b) to fire delay cycles from now. Unlike Schedule it
+// needs no closure: fn is a static function and a/b are stored inline, so
+// the hot per-packet paths of the network layer schedule events without
+// allocating.
+func (e *Engine) Call(delay Time, fn CallFunc, a, b any) {
+	e.CallAt(e.now+delay, fn, a, b)
+}
+
+// CallAt enqueues fn(a, b) at absolute time at. See Call.
+func (e *Engine) CallAt(at Time, fn CallFunc, a, b any) {
+	if fn == nil {
+		panic("eventq: nil call func")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("eventq: scheduling into the past (at=%d now=%d)", at, e.now))
+	}
+	e.seq++
+	e.queue.push(event{at: at, seq: e.seq, fn: fn, a: a, b: b})
 }
 
 // Step fires the single earliest event and reports whether one fired.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.queue.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.queue.pop()
 	e.now = ev.at
 	e.fired++
-	ev.handler()
+	if ev.h != nil {
+		ev.h()
+	} else {
+		ev.fn(ev.a, ev.b)
+	}
 	return true
 }
 
@@ -113,11 +190,15 @@ func (e *Engine) Run() Time {
 	return e.now
 }
 
-// RunUntil fires events with timestamps <= deadline. Events scheduled later
-// remain queued. It returns the current time afterwards.
+// RunUntil fires events with timestamps <= deadline. Events scheduled
+// later remain queued. Unless Stop froze the run mid-way, the clock then
+// advances to deadline — also when the queue drained before reaching it —
+// so repeated RunUntil calls tile simulated time without gaps. A deadline
+// in the past fires nothing and leaves the clock unchanged (time never
+// moves backwards). It returns the current time afterwards.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for !e.stopped && e.queue.len() > 0 && e.queue.items[0].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline && !e.stopped {
@@ -127,5 +208,6 @@ func (e *Engine) RunUntil(deadline Time) Time {
 }
 
 // Stop makes the current Run/RunUntil return after the in-flight handler
-// completes. Pending events stay queued.
+// completes. Pending events stay queued, and a stopped RunUntil does not
+// advance the clock to its deadline (the run is frozen where it stopped).
 func (e *Engine) Stop() { e.stopped = true }

@@ -156,6 +156,171 @@ func TestRunUntilExactBoundary(t *testing.T) {
 	}
 }
 
+// TestRunUntilEdgeCases pins the RunUntil/Stop contract across the edge
+// cases: empty queues, deadlines before the first event, deadlines in the
+// past, and Stop freezing the clock mid-run.
+func TestRunUntilEdgeCases(t *testing.T) {
+	tests := []struct {
+		name string
+		// setup schedules events and returns the deadline to run to.
+		setup       func(e *Engine) Time
+		wantNow     Time
+		wantFired   uint64
+		wantPending int
+	}{
+		{
+			name:    "empty queue advances clock to deadline",
+			setup:   func(e *Engine) Time { return 100 },
+			wantNow: 100,
+		},
+		{
+			name: "deadline before first event advances clock, keeps event queued",
+			setup: func(e *Engine) Time {
+				e.At(50, func() {})
+				return 20
+			},
+			wantNow:     20,
+			wantPending: 1,
+		},
+		{
+			name: "queue drained before deadline still reaches deadline",
+			setup: func(e *Engine) Time {
+				e.At(5, func() {})
+				return 80
+			},
+			wantNow:   80,
+			wantFired: 1,
+		},
+		{
+			name: "deadline in the past fires nothing and keeps the clock",
+			setup: func(e *Engine) Time {
+				e.At(10, func() {})
+				e.RunUntil(30) // now = 30
+				e.At(40, func() {})
+				return 15 // before now; time never moves backwards
+			},
+			wantNow:     30,
+			wantFired:   1,
+			wantPending: 1,
+		},
+		{
+			name: "event exactly at the deadline fires",
+			setup: func(e *Engine) Time {
+				e.At(60, func() {})
+				return 60
+			},
+			wantNow:   60,
+			wantFired: 1,
+		},
+		{
+			name: "stop freezes the clock at the stopping event",
+			setup: func(e *Engine) Time {
+				e.At(10, func() { e.Stop() })
+				e.At(20, func() {})
+				return 100
+			},
+			wantNow:     10,
+			wantFired:   1,
+			wantPending: 1,
+		},
+		{
+			name: "stop on the last event does not advance to the deadline",
+			setup: func(e *Engine) Time {
+				e.At(10, func() { e.Stop() })
+				return 100
+			},
+			wantNow:   10,
+			wantFired: 1,
+		},
+		{
+			name: "stale stop from a previous run is cleared",
+			setup: func(e *Engine) Time {
+				e.At(5, func() { e.Stop() })
+				e.Run() // leaves stopped = true
+				e.At(12, func() {})
+				return 30
+			},
+			wantNow:   30,
+			wantFired: 2,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New()
+			deadline := tc.setup(e)
+			got := e.RunUntil(deadline)
+			if got != tc.wantNow || e.Now() != tc.wantNow {
+				t.Errorf("RunUntil(%d) = %d (Now %d), want %d", deadline, got, e.Now(), tc.wantNow)
+			}
+			if e.Fired() != tc.wantFired {
+				t.Errorf("Fired = %d, want %d", e.Fired(), tc.wantFired)
+			}
+			if e.Pending() != tc.wantPending {
+				t.Errorf("Pending = %d, want %d", e.Pending(), tc.wantPending)
+			}
+		})
+	}
+}
+
+// TestRunUntilResumeAfterStop checks a stopped run resumes exactly where
+// it froze, with no time gap or double-fire.
+func TestRunUntilResumeAfterStop(t *testing.T) {
+	e := New()
+	var fired []Time
+	e.At(10, func() { fired = append(fired, e.Now()); e.Stop() })
+	e.At(20, func() { fired = append(fired, e.Now()) })
+	if got := e.RunUntil(50); got != 10 {
+		t.Fatalf("stopped RunUntil = %d, want 10", got)
+	}
+	if got := e.RunUntil(50); got != 50 {
+		t.Fatalf("resumed RunUntil = %d, want 50", got)
+	}
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 20 {
+		t.Fatalf("fired = %v, want [10 20]", fired)
+	}
+}
+
+// TestRunUntilTiling checks consecutive windows tile simulated time: each
+// call lands exactly on its deadline when not stopped.
+func TestRunUntilTiling(t *testing.T) {
+	e := New()
+	count := 0
+	for i := Time(0); i < 100; i += 7 {
+		e.At(i, func() { count++ })
+	}
+	for _, d := range []Time{10, 20, 30, 150} {
+		if got := e.RunUntil(d); got != d {
+			t.Fatalf("RunUntil(%d) = %d, want %d", d, got, d)
+		}
+	}
+	if count != 15 {
+		t.Fatalf("fired %d events, want 15", count)
+	}
+}
+
+func TestCallZeroAlloc(t *testing.T) {
+	e := New()
+	type payload struct{ hits int }
+	p := &payload{}
+	fn := func(a, b any) { a.(*payload).hits++ }
+	// Warm the heap slice so growth doesn't count.
+	for i := 0; i < 64; i++ {
+		e.Call(Time(i), fn, p, nil)
+	}
+	e.Run()
+	p.hits = 0
+	avg := testing.AllocsPerRun(100, func() {
+		e.Call(1, fn, p, nil)
+		e.Step()
+	})
+	if avg != 0 {
+		t.Errorf("Call+Step allocates %.1f/op, want 0", avg)
+	}
+	if p.hits == 0 {
+		t.Fatal("call handler never ran")
+	}
+}
+
 func TestFiredCounter(t *testing.T) {
 	e := New()
 	for i := 0; i < 42; i++ {

@@ -11,6 +11,8 @@ import (
 
 	"astrasim/internal/collectives"
 	"astrasim/internal/config"
+	"astrasim/internal/eventq"
+	"astrasim/internal/parallel"
 	"astrasim/internal/report"
 	"astrasim/internal/system"
 	"astrasim/internal/topology"
@@ -49,6 +51,20 @@ type Options struct {
 	Fig17Shapes [][3]int
 	// Fig18Scales are the compute-power multipliers.
 	Fig18Scales []float64
+	// Workers is the parallel fan-out for a figure's independent
+	// simulation points (<= 1 runs serially). Each point still executes
+	// on its own single-threaded, deterministic engine, and results are
+	// collected in submission order, so tables are byte-identical for
+	// every worker count.
+	Workers int
+}
+
+// runner returns the sweep executor for o's worker count.
+func (o Options) runner() *parallel.Runner {
+	if o.Workers <= 1 {
+		return parallel.Serial()
+	}
+	return parallel.New(o.Workers)
 }
 
 // Full returns the paper-scale options.
@@ -151,27 +167,47 @@ func Fig9(o Options) ([]*report.Table, error) {
 	}
 	net := asymmetricNet(o.CollectivePktCap)
 
-	tables := make([]*report.Table, 0, 2)
-	for _, c := range []struct {
+	colls := []struct {
 		id, title string
 		op        collectives.Op
 	}{
 		{"fig09a", "1D topology: all-to-all collective, alltoall vs torus (comm cycles)", collectives.AllToAll},
 		{"fig09b", "1D topology: all-reduce collective, alltoall vs torus (comm cycles)", collectives.AllReduce},
-	} {
+	}
+	// One job per (collective, size, topology) point; both topologies are
+	// read-only and safely shared across workers.
+	topos := []struct {
+		name string
+		tp   topology.Topology
+		cfg  config.System
+	}{
+		{"alltoall", a2aTp, a2aCfg},
+		{"torus", torusTp, torusCfg},
+	}
+	nSizes, nTopos := len(o.SweepSizes), len(topos)
+	durs, err := parallel.Map(o.runner(), len(colls)*nSizes*nTopos, func(i int) (eventq.Time, error) {
+		c := colls[i/(nSizes*nTopos)]
+		size := o.SweepSizes[i/nTopos%nSizes]
+		pt := topos[i%nTopos]
+		h, err := system.RunCollective(pt.tp, pt.cfg, net, c.op, size)
+		if err != nil {
+			return 0, fmt.Errorf("%s %s %d: %w", c.id, pt.name, size, err)
+		}
+		return h.Duration(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tables := make([]*report.Table, 0, 2)
+	for ci, c := range colls {
 		t := report.New(c.id, c.title, "size", "alltoall", "torus", "alltoall/torus")
-		for _, size := range o.SweepSizes {
-			ha, err := system.RunCollective(a2aTp, a2aCfg, net, c.op, size)
-			if err != nil {
-				return nil, fmt.Errorf("%s alltoall %d: %w", c.id, size, err)
-			}
-			ht, err := system.RunCollective(torusTp, torusCfg, net, c.op, size)
-			if err != nil {
-				return nil, fmt.Errorf("%s torus %d: %w", c.id, size, err)
-			}
+		for si, size := range o.SweepSizes {
+			base := (ci*nSizes + si) * nTopos
+			ha, ht := durs[base], durs[base+1]
 			t.AddRow(report.Bytes(size),
-				report.Int(int64(ha.Duration())), report.Int(int64(ht.Duration())),
-				report.Float(float64(ha.Duration())/float64(ht.Duration())))
+				report.Int(int64(ha)), report.Int(int64(ht)),
+				report.Float(float64(ha)/float64(ht)))
 		}
 		tables = append(tables, t)
 	}
@@ -183,20 +219,28 @@ func Fig9(o Options) ([]*report.Table, error) {
 func Fig10(o Options) ([]*report.Table, error) {
 	shapes := [][3]int{{1, 64, 1}, {1, 8, 8}, {2, 8, 4}, {4, 4, 4}}
 	net := symmetricNet(o.CollectivePktCap)
+	nShapes := len(shapes)
+	durs, err := parallel.Map(o.runner(), len(o.SweepSizes)*nShapes, func(i int) (eventq.Time, error) {
+		size, s := o.SweepSizes[i/nShapes], shapes[i%nShapes]
+		tp, cfg, err := torusSystem(s[0], s[1], s[2], topology.DefaultTorusConfig(), config.Baseline)
+		if err != nil {
+			return 0, err
+		}
+		h, err := system.RunCollective(tp, cfg, net, collectives.AllReduce, size)
+		if err != nil {
+			return 0, fmt.Errorf("fig10 %v %d: %w", s, size, err)
+		}
+		return h.Duration(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("fig10", "2D/3D torus at 64 modules, symmetric links, baseline all-reduce (comm cycles)",
 		"size", "1x64x1", "1x8x8", "2x8x4", "4x4x4")
-	for _, size := range o.SweepSizes {
+	for si, size := range o.SweepSizes {
 		row := []string{report.Bytes(size)}
-		for _, s := range shapes {
-			tp, cfg, err := torusSystem(s[0], s[1], s[2], topology.DefaultTorusConfig(), config.Baseline)
-			if err != nil {
-				return nil, err
-			}
-			h, err := system.RunCollective(tp, cfg, net, collectives.AllReduce, size)
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %v %d: %w", s, size, err)
-			}
-			row = append(row, report.Int(int64(h.Duration())))
+		for j := range shapes {
+			row = append(row, report.Int(int64(durs[si*nShapes+j])))
 		}
 		t.AddRow(row...)
 	}
@@ -224,19 +268,27 @@ func Fig11(o Options) ([]*report.Table, error) {
 		for _, v := range variants {
 			cols = append(cols, v.name)
 		}
+		nVar := len(variants)
+		durs, err := parallel.Map(o.runner(), len(o.SweepSizes)*nVar, func(i int) (eventq.Time, error) {
+			size, v := o.SweepSizes[i/nVar], variants[i%nVar]
+			tp, cfg, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), v.alg)
+			if err != nil {
+				return 0, err
+			}
+			h, err := system.RunCollective(tp, cfg, v.net, op, size)
+			if err != nil {
+				return 0, fmt.Errorf("%s %s %d: %w", id, v.name, size, err)
+			}
+			return h.Duration(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		t := report.New(id, title, cols...)
-		for _, size := range o.SweepSizes {
+		for si, size := range o.SweepSizes {
 			row := []string{report.Bytes(size)}
-			for _, v := range variants {
-				tp, cfg, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), v.alg)
-				if err != nil {
-					return nil, err
-				}
-				h, err := system.RunCollective(tp, cfg, v.net, op, size)
-				if err != nil {
-					return nil, fmt.Errorf("%s %s %d: %w", id, v.name, size, err)
-				}
-				row = append(row, report.Int(int64(h.Duration())))
+			for j := range variants {
+				row = append(row, report.Int(int64(durs[si*nVar+j])))
 			}
 			t.AddRow(row...)
 		}
@@ -267,17 +319,29 @@ func Fig12(o Options) ([]*report.Table, error) {
 		"topology",
 		"QueueP0", "QueueP1", "QueueP2", "QueueP3", "QueueP4",
 		"NetP1", "NetP2", "NetP3", "NetP4")
-	for _, s := range shapes {
+	type point struct {
+		npus int
+		h    *system.Handle
+	}
+	points, err := parallel.Map(o.runner(), len(shapes), func(i int) (point, error) {
+		s := shapes[i]
 		tp, cfg, err := torusSystem(s[0], s[1], s[2], topology.DefaultTorusConfig(), config.Enhanced)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		h, err := system.RunCollective(tp, cfg, net, collectives.AllReduce, o.Fig12Bytes)
 		if err != nil {
-			return nil, fmt.Errorf("fig12 %v: %w", s, err)
+			return point{}, fmt.Errorf("fig12 %v: %w", s, err)
 		}
+		return point{npus: tp.NumNPUs(), h: h}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range shapes {
 		name := fmt.Sprintf("%dx%dx%d", s[0], s[1], s[2])
-		total.AddRow(name, report.Int(int64(tp.NumNPUs())), report.Int(int64(h.Duration())))
+		h := points[i].h
+		total.AddRow(name, report.Int(int64(points[i].npus)), report.Int(int64(h.Duration())))
 		row := []string{name}
 		for p := 0; p <= 4; p++ {
 			row = append(row, report.Float(h.AvgQueueDelay(p)))

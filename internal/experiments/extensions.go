@@ -7,6 +7,8 @@ import (
 	"astrasim/internal/collectives"
 	"astrasim/internal/config"
 	"astrasim/internal/energy"
+	"astrasim/internal/eventq"
+	"astrasim/internal/parallel"
 	"astrasim/internal/report"
 	"astrasim/internal/system"
 	"astrasim/internal/topology"
@@ -35,24 +37,32 @@ func Ext4D(o Options) ([]*report.Table, error) {
 	for _, s := range shapes {
 		cols = append(cols, shapeName(s))
 	}
+	nShapes := len(shapes)
+	durs, err := parallel.Map(o.runner(), len(o.SweepSizes)*nShapes, func(i int) (eventq.Time, error) {
+		size, s := o.SweepSizes[i/nShapes], shapes[i%nShapes]
+		tp, err := topology.NewTorusND(s, topology.TorusNDConfig{})
+		if err != nil {
+			return 0, err
+		}
+		cfg := config.DefaultSystem()
+		cfg.Topology = config.TorusND
+		cfg.LocalSize = s[0]
+		cfg.HorizontalSize = tp.NumNPUs() / s[0]
+		cfg.VerticalSize = 1
+		h, err := system.RunCollective(tp, cfg, net, collectives.AllReduce, size)
+		if err != nil {
+			return 0, fmt.Errorf("ext4d %v %d: %w", s, size, err)
+		}
+		return h.Duration(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("ext4d", "1D-5D torus at 64 packages, symmetric links, baseline all-reduce (comm cycles)", cols...)
-	for _, size := range o.SweepSizes {
+	for si, size := range o.SweepSizes {
 		row := []string{report.Bytes(size)}
-		for _, s := range shapes {
-			tp, err := topology.NewTorusND(s, topology.TorusNDConfig{})
-			if err != nil {
-				return nil, err
-			}
-			cfg := config.DefaultSystem()
-			cfg.Topology = config.TorusND
-			cfg.LocalSize = s[0]
-			cfg.HorizontalSize = tp.NumNPUs() / s[0]
-			cfg.VerticalSize = 1
-			h, err := system.RunCollective(tp, cfg, net, collectives.AllReduce, size)
-			if err != nil {
-				return nil, fmt.Errorf("ext4d %v %d: %w", s, size, err)
-			}
-			row = append(row, report.Int(int64(h.Duration())))
+		for j := range shapes {
+			row = append(row, report.Int(int64(durs[si*nShapes+j])))
 		}
 		t.AddRow(row...)
 	}
@@ -120,23 +130,31 @@ func ExtMapping(o Options) ([]*report.Table, error) {
 			sizes = append(sizes, s)
 		}
 	}
+	nLog := len(logicals)
+	durs, err := parallel.Map(o.runner(), len(sizes)*nLog, func(i int) (eventq.Time, error) {
+		size, l := sizes[i/nLog], logicals[i%nLog]
+		mapped, err := topology.NewMapped(l.topo, phys, topology.IdentityMapping(64))
+		if err != nil {
+			return 0, err
+		}
+		cfg := config.DefaultSystem()
+		cfg.Topology = config.TorusND
+		cfg.LocalSize, cfg.HorizontalSize, cfg.VerticalSize = 1, 64, 1
+		h, err := system.RunCollective(mapped, cfg, net, collectives.AllReduce, size)
+		if err != nil {
+			return 0, fmt.Errorf("extmap %s %d: %w", l.name, size, err)
+		}
+		return h.Duration(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("extmap",
 		"Logical topologies mapped onto one physical 1x64x1 ring, all-reduce (comm cycles)", cols...)
-	for _, size := range sizes {
+	for si, size := range sizes {
 		row := []string{report.Bytes(size)}
-		for _, l := range logicals {
-			mapped, err := topology.NewMapped(l.topo, phys, topology.IdentityMapping(64))
-			if err != nil {
-				return nil, err
-			}
-			cfg := config.DefaultSystem()
-			cfg.Topology = config.TorusND
-			cfg.LocalSize, cfg.HorizontalSize, cfg.VerticalSize = 1, 64, 1
-			h, err := system.RunCollective(mapped, cfg, net, collectives.AllReduce, size)
-			if err != nil {
-				return nil, fmt.Errorf("extmap %s %d: %w", l.name, size, err)
-			}
-			row = append(row, report.Int(int64(h.Duration())))
+		for j := range logicals {
+			row = append(row, report.Int(int64(durs[si*nLog+j])))
 		}
 		t.AddRow(row...)
 	}
@@ -149,16 +167,15 @@ func ExtMapping(o Options) ([]*report.Table, error) {
 // to future work).
 func ExtEnergy(o Options) ([]*report.Table, error) {
 	size := o.SweepSizes[len(o.SweepSizes)-1]
-	t := report.New("extenergy",
-		fmt.Sprintf("Communication energy of a %s all-reduce on 4x4x4 (joules)", report.Bytes(size)),
-		"variant", "time(cycles)", "intraJ", "interJ", "routerJ", "totalJ")
-	for _, v := range []struct {
+	variants := []struct {
 		name string
 		alg  config.Algorithm
 	}{
 		{"baseline", config.Baseline},
 		{"enhanced", config.Enhanced},
-	} {
+	}
+	rows, err := parallel.Map(o.runner(), len(variants), func(i int) ([]string, error) {
+		v := variants[i]
 		tp, cfg, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), v.alg)
 		if err != nil {
 			return nil, err
@@ -177,9 +194,18 @@ func ExtEnergy(o Options) ([]*report.Table, error) {
 			return nil, fmt.Errorf("extenergy %s: did not complete", v.name)
 		}
 		e := energy.CommEnergy(inst.Net, energy.Default())
-		t.AddRow(v.name, report.Int(int64(h.Duration())),
+		return []string{v.name, report.Int(int64(h.Duration())),
 			fmt.Sprintf("%.4g", e.IntraPackage), fmt.Sprintf("%.4g", e.InterPackage),
-			fmt.Sprintf("%.4g", e.Router), fmt.Sprintf("%.4g", e.Communication()))
+			fmt.Sprintf("%.4g", e.Router), fmt.Sprintf("%.4g", e.Communication())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("extenergy",
+		fmt.Sprintf("Communication energy of a %s all-reduce on 4x4x4 (joules)", report.Bytes(size)),
+		"variant", "time(cycles)", "intraJ", "interJ", "routerJ", "totalJ")
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*report.Table{t}, nil
 }
@@ -204,36 +230,52 @@ func ExtAblation(o Options) ([]*report.Table, error) {
 		return int64(h.Duration()), nil
 	}
 
+	// One job per knob setting, all three sweeps flattened into a single
+	// batch so the pool stays full across sweep boundaries.
+	type knob struct {
+		label  string
+		mutate func(*config.System)
+	}
+	splitVals := []int{1, 4, 16, 64, 256}
+	widthVals := []int{1, 2, 4, 8}
+	dispatchVals := [][2]int{{2, 4}, {8, 16}, {32, 64}, {1000, 1000}}
+	var knobs []knob
+	for _, n := range splitVals {
+		n := n
+		knobs = append(knobs, knob{report.Int(int64(n)), func(c *config.System) { c.PreferredSetSplits = n }})
+	}
+	for _, w := range widthVals {
+		w := w
+		knobs = append(knobs, knob{report.Int(int64(w)), func(c *config.System) { c.LSQWidth = w }})
+	}
+	for _, tp := range dispatchVals {
+		tp := tp
+		knobs = append(knobs, knob{fmt.Sprintf("%d/%d", tp[0], tp[1]),
+			func(c *config.System) { c.IssueThreshold, c.IssueBatch = tp[0], tp[1] }})
+	}
+	durs, err := parallel.Map(o.runner(), len(knobs), func(i int) (int64, error) {
+		return run(knobs[i].mutate)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	splits := report.New("extablation-splits",
 		fmt.Sprintf("Ablation: preferred-set-splits, %s enhanced all-reduce on 4x4x4", report.Bytes(size)),
 		"splits", "time(cycles)")
-	for _, n := range []int{1, 4, 16, 64, 256} {
-		d, err := run(func(c *config.System) { c.PreferredSetSplits = n })
-		if err != nil {
-			return nil, err
-		}
-		splits.AddRow(report.Int(int64(n)), report.Int(d))
-	}
-
 	width := report.New("extablation-lsq",
 		"Ablation: LSQ width (concurrent chunks per ring)", "width", "time(cycles)")
-	for _, w := range []int{1, 2, 4, 8} {
-		d, err := run(func(c *config.System) { c.LSQWidth = w })
-		if err != nil {
-			return nil, err
-		}
-		width.AddRow(report.Int(int64(w)), report.Int(d))
-	}
-
 	dispatch := report.New("extablation-dispatcher",
 		"Ablation: dispatcher threshold T / batch P", "T/P", "time(cycles)")
-	for _, tp := range [][2]int{{2, 4}, {8, 16}, {32, 64}, {1000, 1000}} {
-		tp := tp
-		d, err := run(func(c *config.System) { c.IssueThreshold, c.IssueBatch = tp[0], tp[1] })
-		if err != nil {
-			return nil, err
+	for i, k := range knobs {
+		switch {
+		case i < len(splitVals):
+			splits.AddRow(k.label, report.Int(durs[i]))
+		case i < len(splitVals)+len(widthVals):
+			width.AddRow(k.label, report.Int(durs[i]))
+		default:
+			dispatch.AddRow(k.label, report.Int(durs[i]))
 		}
-		dispatch.AddRow(fmt.Sprintf("%d/%d", tp[0], tp[1]), report.Int(d))
 	}
 	return []*report.Table{splits, width, dispatch}, nil
 }
@@ -273,21 +315,30 @@ func ExtScaleOut(o Options) ([]*report.Table, error) {
 	soCfg.Algorithm = config.Enhanced
 
 	net := asymmetricNet(o.CollectivePktCap)
-	t := report.New("extscaleout",
-		"All-reduce at 32 NPUs: one 2x4x4 torus vs 4 pods of 2x2x2 over a 100Gb/s spine (comm cycles)",
-		"size", "scale-up 2x4x4", "4 pods scale-out", "penalty")
-	for _, size := range o.SweepSizes {
+	type pair struct{ up, so eventq.Time }
+	pairs, err := parallel.Map(o.runner(), len(o.SweepSizes), func(i int) (pair, error) {
+		size := o.SweepSizes[i]
 		hu, err := system.RunCollective(up, upCfg, net, collectives.AllReduce, size)
 		if err != nil {
-			return nil, fmt.Errorf("extscaleout up %d: %w", size, err)
+			return pair{}, fmt.Errorf("extscaleout up %d: %w", size, err)
 		}
 		hs, err := system.RunCollective(so, soCfg, net, collectives.AllReduce, size)
 		if err != nil {
-			return nil, fmt.Errorf("extscaleout so %d: %w", size, err)
+			return pair{}, fmt.Errorf("extscaleout so %d: %w", size, err)
 		}
+		return pair{up: hu.Duration(), so: hs.Duration()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("extscaleout",
+		"All-reduce at 32 NPUs: one 2x4x4 torus vs 4 pods of 2x2x2 over a 100Gb/s spine (comm cycles)",
+		"size", "scale-up 2x4x4", "4 pods scale-out", "penalty")
+	for si, size := range o.SweepSizes {
+		p := pairs[si]
 		t.AddRow(report.Bytes(size),
-			report.Int(int64(hu.Duration())), report.Int(int64(hs.Duration())),
-			report.Float(float64(hs.Duration())/float64(hu.Duration())))
+			report.Int(int64(p.up)), report.Int(int64(p.so)),
+			report.Float(float64(p.so)/float64(p.up)))
 	}
 	return []*report.Table{t}, nil
 }
@@ -313,31 +364,43 @@ func ExtSwitched(o Options) ([]*report.Table, error) {
 	swCfg.LocalSize, swCfg.HorizontalSize = 4, 4
 
 	net := asymmetricNet(o.CollectivePktCap)
-	var tables []*report.Table
-	for _, c := range []struct {
+	colls := []struct {
 		id, title string
 		op        collectives.Op
 	}{
 		{"extswitch-ar", "16 NPUs: all-reduce on torus vs alltoall vs switched (comm cycles)", collectives.AllReduce},
 		{"extswitch-a2a", "16 NPUs: all-to-all on torus vs alltoall vs switched (comm cycles)", collectives.AllToAll},
-	} {
+	}
+	topos := []struct {
+		tp  topology.Topology
+		cfg config.System
+	}{
+		{torusTp, torusCfg},
+		{a2aTp, a2aCfg},
+		{swTp, swCfg},
+	}
+	nSizes, nTopos := len(o.SweepSizes), len(topos)
+	durs, err := parallel.Map(o.runner(), len(colls)*nSizes*nTopos, func(i int) (eventq.Time, error) {
+		c := colls[i/(nSizes*nTopos)]
+		size := o.SweepSizes[i/nTopos%nSizes]
+		pt := topos[i%nTopos]
+		h, err := system.RunCollective(pt.tp, pt.cfg, net, c.op, size)
+		if err != nil {
+			return 0, err
+		}
+		return h.Duration(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tables []*report.Table
+	for ci, c := range colls {
 		t := report.New(c.id, c.title, "size", "4x4x1 torus", "4x4 alltoall", "4x4 switched")
-		for _, size := range o.SweepSizes {
-			ht, err := system.RunCollective(torusTp, torusCfg, net, c.op, size)
-			if err != nil {
-				return nil, err
-			}
-			ha, err := system.RunCollective(a2aTp, a2aCfg, net, c.op, size)
-			if err != nil {
-				return nil, err
-			}
-			hs, err := system.RunCollective(swTp, swCfg, net, c.op, size)
-			if err != nil {
-				return nil, err
-			}
+		for si, size := range o.SweepSizes {
+			base := (ci*nSizes + si) * nTopos
 			t.AddRow(report.Bytes(size),
-				report.Int(int64(ht.Duration())), report.Int(int64(ha.Duration())),
-				report.Int(int64(hs.Duration())))
+				report.Int(int64(durs[base])), report.Int(int64(durs[base+1])),
+				report.Int(int64(durs[base+2])))
 		}
 		tables = append(tables, t)
 	}
@@ -373,26 +436,33 @@ func ExtValidate(o Options) ([]*report.Table, error) {
 	targets = append(targets, target{"2x4 alltoall", ta, ca})
 
 	net := asymmetricNet(o.CollectivePktCap)
+	ops := []collectives.Op{collectives.AllReduce, collectives.AllToAll}
+	nOps, nSizes := len(ops), len(o.SweepSizes)
+	rows, err := parallel.Map(o.runner(), len(targets)*nOps*nSizes, func(i int) ([]string, error) {
+		tg := targets[i/(nOps*nSizes)]
+		op := ops[i/nSizes%nOps]
+		size := o.SweepSizes[i%nSizes]
+		h, err := system.RunCollective(tg.topo, tg.cfg, net, op, size)
+		if err != nil {
+			return nil, err
+		}
+		b, err := analytic.CollectiveBounds(op, tg.topo, tg.cfg.Algorithm, net, tg.cfg, size)
+		if err != nil {
+			return nil, err
+		}
+		sim := float64(h.Duration())
+		return []string{tg.name, op.String(), report.Bytes(size),
+			report.Float(b.Lower), report.Float(b.Estimate),
+			report.Int(int64(h.Duration())), report.Float(sim / b.Lower)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("extvalidate",
 		"Event-driven simulation vs closed-form alpha-beta bounds (cycles)",
 		"config", "op", "size", "analytic-lower", "analytic-est", "simulated", "sim/lower")
-	for _, tg := range targets {
-		for _, op := range []collectives.Op{collectives.AllReduce, collectives.AllToAll} {
-			for _, size := range o.SweepSizes {
-				h, err := system.RunCollective(tg.topo, tg.cfg, net, op, size)
-				if err != nil {
-					return nil, err
-				}
-				b, err := analytic.CollectiveBounds(op, tg.topo, tg.cfg.Algorithm, net, tg.cfg, size)
-				if err != nil {
-					return nil, err
-				}
-				sim := float64(h.Duration())
-				t.AddRow(tg.name, op.String(), report.Bytes(size),
-					report.Float(b.Lower), report.Float(b.Estimate),
-					report.Int(int64(h.Duration())), report.Float(sim/b.Lower))
-			}
-		}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*report.Table{t}, nil
 }

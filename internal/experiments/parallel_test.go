@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"astrasim/internal/report"
+)
+
+// tablesCSV renders a figure's tables as one CSV blob, the byte-exact
+// artifact cmd/sweep writes to disk.
+func tablesCSV(t *testing.T, tables []*report.Table) string {
+	t.Helper()
+	var b strings.Builder
+	for _, tb := range tables {
+		b.WriteString("# " + tb.ID + "\n")
+		if err := tb.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// TestParallelDeterminism runs the collective figures through the sweep
+// runner at several worker counts and asserts the rendered CSV is
+// byte-identical to the serial run: parallel execution must change
+// wall-clock only, never results.
+func TestParallelDeterminism(t *testing.T) {
+	figures := []Figure{
+		{"fig09", "", Fig9},
+		{"fig10", "", Fig10},
+		{"fig11", "", Fig11},
+		{"fig12", "", Fig12},
+	}
+	workerCounts := []int{2, runtime.NumCPU()}
+	for _, f := range figures {
+		o := Quick()
+		o.Workers = 1
+		serialTables, err := f.Run(o)
+		if err != nil {
+			t.Fatalf("%s serial: %v", f.ID, err)
+		}
+		want := tablesCSV(t, serialTables)
+		for _, w := range workerCounts {
+			o.Workers = w
+			tables, err := f.Run(o)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", f.ID, w, err)
+			}
+			if got := tablesCSV(t, tables); got != want {
+				t.Errorf("%s: CSV with %d workers differs from serial run\nserial:\n%s\nworkers=%d:\n%s",
+					f.ID, w, want, w, got)
+			}
+		}
+	}
+}
+
+// TestParallelDeterminismTraining covers the figures that share the
+// memoized ResNet-50 cache: concurrent cache hits must not change rows.
+func TestParallelDeterminismTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training figures are slow")
+	}
+	for _, f := range []Figure{
+		{"fig16", "", Fig16},
+		{"fig18", "", Fig18},
+	} {
+		o := Quick()
+		o.Workers = 1
+		serialTables, err := f.Run(o)
+		if err != nil {
+			t.Fatalf("%s serial: %v", f.ID, err)
+		}
+		want := tablesCSV(t, serialTables)
+		o.Workers = runtime.NumCPU()
+		tables, err := f.Run(o)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", f.ID, err)
+		}
+		if got := tablesCSV(t, tables); got != want {
+			t.Errorf("%s: parallel CSV differs from serial\nserial:\n%s\nparallel:\n%s", f.ID, want, got)
+		}
+	}
+}

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"astrasim/internal/compute"
 	"astrasim/internal/config"
 	"astrasim/internal/models"
+	"astrasim/internal/parallel"
 	"astrasim/internal/report"
 	"astrasim/internal/system"
 	"astrasim/internal/topology"
@@ -31,26 +33,39 @@ func runTraining(def workload.Definition, shape [3]int, policy config.Scheduling
 	return tr.Run()
 }
 
-// resnetCache memoizes ResNet-50 runs shared by Figs. 14, 15 and 16
-// (single-threaded simulator; no locking needed).
-var resnetCache = map[string]workload.Result{}
+// resnetCache memoizes ResNet-50 runs shared by Figs. 14, 15 and 16.
+// Parallel sweeps hit it from several workers at once, so each key gets a
+// single-flight entry: the first caller simulates, concurrent callers for
+// the same key block on the entry's Once, distinct keys run concurrently.
+var (
+	resnetMu    sync.Mutex
+	resnetCache = map[string]*resnetEntry{}
+)
+
+type resnetEntry struct {
+	once sync.Once
+	res  workload.Result
+	err  error
+}
 
 func resnetRun(o Options, shape [3]int, policy config.SchedulingPolicy, scale float64) (workload.Result, error) {
 	scale *= o.TrainComputeScale
 	key := fmt.Sprintf("%v/%v/%d/%d/%d/%g", shape, policy, o.Passes, o.Batch, o.TrainingPktCap, scale)
-	if res, ok := resnetCache[key]; ok {
-		return res, nil
+	resnetMu.Lock()
+	e := resnetCache[key]
+	if e == nil {
+		e = &resnetEntry{}
+		resnetCache[key] = e
 	}
-	def := models.ResNet50(compute.Default(), o.Batch)
-	if scale != 1 {
-		def = def.ScaleCompute(scale)
-	}
-	res, err := runTraining(def, shape, policy, o.Passes, o.TrainingPktCap)
-	if err != nil {
-		return workload.Result{}, err
-	}
-	resnetCache[key] = res
-	return res, nil
+	resnetMu.Unlock()
+	e.once.Do(func() {
+		def := models.ResNet50(compute.Default(), o.Batch)
+		if scale != 1 {
+			def = def.ScaleCompute(scale)
+		}
+		e.res, e.err = runTraining(def, shape, policy, o.Passes, o.TrainingPktCap)
+	})
+	return e.res, e.err
 }
 
 // Fig13 reports the Transformer's layer-wise raw communication time for
@@ -112,12 +127,16 @@ func Fig15(o Options) ([]*report.Table, error) {
 // both LIFO and FIFO scheduling (§V-F: the two behave nearly identically
 // because the fast local dimension enforces in-order chunk execution).
 func Fig16(o Options) ([]*report.Table, error) {
+	policies := []config.SchedulingPolicy{config.LIFO, config.FIFO}
+	results, err := parallel.Map(o.runner(), len(policies), func(i int) (workload.Result, error) {
+		return resnetRun(o, [3]int{2, 4, 4}, policies[i], 1)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var tables []*report.Table
-	for _, policy := range []config.SchedulingPolicy{config.LIFO, config.FIFO} {
-		res, err := resnetRun(o, [3]int{2, 4, 4}, policy, 1)
-		if err != nil {
-			return nil, err
-		}
+	for pi, policy := range policies {
+		res := results[pi]
 		t := report.New("fig16-"+policy.String(),
 			fmt.Sprintf("ResNet-50 layer-wise delay breakdown, %s scheduling (avg cycles per chunk)", policy),
 			"layer",
@@ -159,14 +178,17 @@ func avgHandleStat(handles []*system.Handle, phase int, queue bool) float64 {
 // torus grows from 8 to 128 NPUs (§V-F: 4.1% exposed at 8 NPUs rising to
 // 25.2% at 128).
 func Fig17(o Options) ([]*report.Table, error) {
+	results, err := parallel.Map(o.runner(), len(o.Fig17Shapes), func(i int) (workload.Result, error) {
+		return resnetRun(o, o.Fig17Shapes[i], config.LIFO, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("fig17",
 		"ResNet-50 compute vs exposed communication ratio across system sizes (2x4x4 torus family)",
 		"topology", "npus", "total-cycles", "compute%", "exposed%")
-	for _, s := range o.Fig17Shapes {
-		res, err := resnetRun(o, s, config.LIFO, 1)
-		if err != nil {
-			return nil, err
-		}
+	for si, s := range o.Fig17Shapes {
+		res := results[si]
 		name := fmt.Sprintf("%dx%dx%d", s[0], s[1], s[2])
 		computeRatio := float64(res.TotalCompute()) / float64(res.TotalCycles)
 		t.AddRow(name, report.Int(int64(s[0]*s[1]*s[2])),
@@ -179,14 +201,17 @@ func Fig17(o Options) ([]*report.Table, error) {
 // Fig18 reports how the exposed-communication ratio changes with NPU
 // compute power on the 2x4x4 system (§V-F: <1% at 0.5x, 63.9% at 4x).
 func Fig18(o Options) ([]*report.Table, error) {
+	results, err := parallel.Map(o.runner(), len(o.Fig18Scales), func(i int) (workload.Result, error) {
+		return resnetRun(o, [3]int{2, 4, 4}, config.LIFO, o.Fig18Scales[i])
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("fig18",
 		"ResNet-50 exposed communication ratio vs compute power (2x4x4 torus)",
 		"compute-power", "total-cycles", "compute%", "exposed%")
-	for _, scale := range o.Fig18Scales {
-		res, err := resnetRun(o, [3]int{2, 4, 4}, config.LIFO, scale)
-		if err != nil {
-			return nil, err
-		}
+	for si, scale := range o.Fig18Scales {
+		res := results[si]
 		computeRatio := float64(res.TotalCompute()) / float64(res.TotalCycles)
 		t.AddRow(fmt.Sprintf("%gx", scale),
 			report.Int(int64(res.TotalCycles)),

@@ -66,6 +66,29 @@ type packet struct {
 	pathPos int
 }
 
+// allocPacket takes a packet from the network's free list, or heap-allocates
+// when the list is empty. Retired packets return via freePacket, so a
+// steady-state run recycles a small working set instead of allocating one
+// packet per hop. Single-threaded per network: no locking.
+func (n *Network) allocPacket(msg *Message, bytes int64, pathPos int) *packet {
+	if last := len(n.pktFree) - 1; last >= 0 && !n.noFreeList {
+		p := n.pktFree[last]
+		n.pktFree = n.pktFree[:last]
+		p.msg, p.bytes, p.pathPos = msg, bytes, pathPos
+		return p
+	}
+	return &packet{msg: msg, bytes: bytes, pathPos: pathPos}
+}
+
+// freePacket recycles a packet the simulation no longer references.
+func (n *Network) freePacket(p *packet) {
+	if n.noFreeList {
+		return
+	}
+	p.msg = nil
+	n.pktFree = append(n.pktFree, p)
+}
+
 // LinkStats aggregates per-link activity counters.
 type LinkStats struct {
 	Packets    uint64
@@ -101,6 +124,9 @@ type link struct {
 	// blockStart is when the current head packet finished serializing
 	// and began waiting on downstream buffer space.
 	blockStart eventq.Time
+	// curSer is the serialization time of the in-flight head packet,
+	// charged to BusyCycles when serialization completes.
+	curSer eventq.Time
 	// waiters are upstream links stalled on this link's buffer space.
 	waiters []*link
 
@@ -128,6 +154,11 @@ type Network struct {
 	params config.Network
 	links  []*link
 	nextID uint64
+
+	// pktFree recycles retired packet objects (see allocPacket); noFreeList
+	// disables recycling so tests can compare against the allocating path.
+	pktFree    []*packet
+	noFreeList bool
 
 	// DeliveredMessages counts completed messages (for tests/stats).
 	DeliveredMessages uint64
@@ -213,7 +244,7 @@ func (n *Network) Send(msg *Message) {
 			b = remaining
 		}
 		remaining -= b
-		first.enqueueFromSource(&packet{msg: msg, bytes: b})
+		first.enqueueFromSource(n.allocPacket(msg, b, 0))
 	}
 }
 
@@ -234,14 +265,19 @@ func (l *link) hasSpace() bool { return len(l.queue)+l.reserved < l.capPackets }
 // queue after the upstream wire latency plus one router hop.
 func (l *link) acceptFromNetwork(p *packet, wireDelay eventq.Time) {
 	l.reserved++
-	l.net.eng.Schedule(wireDelay, func() {
-		l.reserved--
-		l.queue = append(l.queue, p)
-		if len(l.queue) > l.stats.PeakQueue {
-			l.stats.PeakQueue = len(l.queue)
-		}
-		l.kick()
-	})
+	l.net.eng.Call(wireDelay, linkArrive, l, p)
+}
+
+// linkArrive is the eventq.CallFunc that lands packet b on link a after
+// its wire delay (static function: no per-packet closure allocation).
+func linkArrive(a, b any) {
+	l, p := a.(*link), b.(*packet)
+	l.reserved--
+	l.queue = append(l.queue, p)
+	if len(l.queue) > l.stats.PeakQueue {
+		l.stats.PeakQueue = len(l.queue)
+	}
+	l.kick()
 }
 
 // kick starts serializing the head packet if the link is idle.
@@ -255,11 +291,19 @@ func (l *link) kick() {
 		p.msg.started = true
 		p.msg.SerStart = l.net.eng.Now()
 	}
-	ser := l.serCycles(p.bytes)
-	l.net.eng.Schedule(ser, func() {
-		l.stats.BusyCycles += ser
-		l.forward(p)
-	})
+	// The head packet stays at queue[0] until forward() retires it, so
+	// only one serialization is ever in flight per link and curSer is
+	// unambiguous.
+	l.curSer = l.serCycles(p.bytes)
+	l.net.eng.Call(l.curSer, linkSerDone, l, p)
+}
+
+// linkSerDone is the eventq.CallFunc that fires when link a finishes
+// serializing packet b.
+func linkSerDone(a, b any) {
+	l := a.(*link)
+	l.stats.BusyCycles += l.curSer
+	l.forward(b.(*packet))
 }
 
 // hopDelay is the post-serialization delay to the next stage: wire latency
@@ -280,38 +324,45 @@ func (l *link) forward(p *packet) {
 			next.waiters = append(next.waiters, l)
 			return
 		}
-		next.acceptFromNetwork(advanced(p), l.hopDelay())
+		next.acceptFromNetwork(l.advanced(p), l.hopDelay())
 	} else {
 		// Final hop: arrival at the destination endpoint.
-		msg := p.msg
-		l.net.eng.Schedule(l.hopDelay(), func() {
-			msg.packetsLeft--
-			if msg.packetsLeft == 0 {
-				msg.Delivered = l.net.eng.Now()
-				l.net.DeliveredMessages++
-				if msg.OnDelivered != nil {
-					msg.OnDelivered(msg)
-				}
-			}
-		})
+		l.net.eng.Call(l.hopDelay(), packetDelivered, l.net, p.msg)
 	}
 	l.finishHead(p)
 }
 
-// advanced returns a copy of p advanced to the next path position.
-func advanced(p *packet) *packet {
-	np := *p
-	np.pathPos++
-	return &np
+// packetDelivered is the eventq.CallFunc that lands one packet of message
+// b at its destination endpoint on network a.
+func packetDelivered(a, b any) {
+	n, msg := a.(*Network), b.(*Message)
+	msg.packetsLeft--
+	if msg.packetsLeft == 0 {
+		msg.Delivered = n.eng.Now()
+		n.DeliveredMessages++
+		if msg.OnDelivered != nil {
+			msg.OnDelivered(msg)
+		}
+	}
+}
+
+// advanced returns a recycled copy of p advanced to the next path
+// position. The original stays at this link's queue head until finishHead
+// retires (and frees) it.
+func (l *link) advanced(p *packet) *packet {
+	return l.net.allocPacket(p.msg, p.bytes, p.pathPos+1)
 }
 
 // finishHead retires the serialized head packet and restarts the pipeline.
+// The packet object returns to the free list: downstream holds its own
+// copy, so nothing references p afterwards.
 func (l *link) finishHead(p *packet) {
 	l.stats.Packets++
 	l.stats.Bytes += p.bytes
 	l.queue = l.queue[1:]
 	l.busy = false
 	l.blocked = false
+	l.net.freePacket(p)
 	l.kick()
 	l.releaseWaiters()
 }
@@ -323,7 +374,7 @@ func (l *link) releaseWaiters() {
 		l.waiters = l.waiters[1:]
 		p := w.queue[0]
 		w.stats.BlockedCycles += l.net.eng.Now() - w.blockStart
-		l.acceptFromNetwork(advanced(p), w.hopDelay())
+		l.acceptFromNetwork(w.advanced(p), w.hopDelay())
 		// The waiting link's serializer was blocked, not re-run: retire
 		// its head now that the hand-off succeeded.
 		w.finishHead(p)

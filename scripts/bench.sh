@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench.sh — core-microbenchmark regression harness.
+#
+# Runs the simulator-core microbenchmarks with -benchmem and writes:
+#   BENCH_core.txt   raw `go test -bench` output (for humans and diffing)
+#   BENCH_core.json  one JSON object per benchmark (for tooling/trend plots)
+#
+# Usage: scripts/bench.sh [output-dir]   (default: repo root)
+#
+# Run it before and after a perf-sensitive change; the JSON keys
+# (ns_per_op, bytes_per_op, allocs_per_op) are the numbers PR descriptions
+# should quote. Keep BENCHTIME small enough for CI but >=3x so ns/op is
+# not a single-sample fluke.
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT="${1:-.}"
+mkdir -p "$OUT"
+BENCHTIME="${BENCHTIME:-3x}"
+TXT="$OUT/BENCH_core.txt"
+JSON="$OUT/BENCH_core.json"
+
+# The stable core set: one event-queue microbenchmark plus the two
+# collective microbenchmarks the perf acceptance criteria track.
+CORE='BenchmarkAllReduce4x4x4_4MB|BenchmarkAllToAll_8Packages_1MB'
+EVQ='BenchmarkScheduleRun'
+
+{
+  go test -run '^$' -bench "$CORE" -benchmem -benchtime "$BENCHTIME" .
+  go test -run '^$' -bench "$EVQ" -benchmem -benchtime 100x ./internal/eventq/
+} | tee "$TXT"
+
+# Convert "BenchmarkX  N  ns/op  B/op  allocs/op" lines into JSON records.
+awk '
+  /^Benchmark/ && /allocs\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    printf("%s{\"benchmark\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
+           (n++ ? ",\n  " : "[\n  "), name, $2, $3, $5, $7)
+  }
+  END { if (n) print "\n]"; else print "[]" }
+' "$TXT" > "$JSON"
+
+echo "wrote $TXT and $JSON" >&2
