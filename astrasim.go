@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 
+	"astrasim/internal/audit"
 	"astrasim/internal/collectives"
 	"astrasim/internal/compute"
 	"astrasim/internal/config"
@@ -127,19 +128,41 @@ type Platform struct {
 	// stragglers maps NPU -> endpoint slowdown factor, applied to every
 	// simulation instance this platform creates.
 	stragglers map[NodeID]float64
+	// audit attaches an invariant auditor (byte conservation, quiescence,
+	// free-list poisoning) to every instance; violations turn into errors.
+	audit bool
 }
 
+// SetAudit toggles invariant auditing for every subsequent run: byte
+// conservation across the three layers, quiescence at completion, and
+// packet free-list poisoning. A violated invariant turns the run into an
+// error. Off by default; the checks cost a few percent of runtime.
+func (p *Platform) SetAudit(on bool) { p.audit = on }
+
 // instance builds a fresh wired simulation with the platform's fault
-// injections applied.
-func (p *Platform) instance() (*system.Instance, error) {
+// injections applied. The auditor is nil unless SetAudit(true).
+func (p *Platform) instance() (*system.Instance, *audit.Auditor, error) {
 	inst, err := system.NewInstance(p.topo, p.sys, p.net)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for node, factor := range p.stragglers {
 		inst.Sys.SetNodeStragglerFactor(node, factor)
 	}
-	return inst, nil
+	var aud *audit.Auditor
+	if p.audit {
+		aud = audit.Attach(inst.Sys, inst.Net)
+	}
+	return inst, aud, nil
+}
+
+// auditErr converts a finished run's audit report into an error (nil when
+// auditing is off or the run held every invariant).
+func auditErr(aud *audit.Auditor) error {
+	if aud == nil {
+		return nil
+	}
+	return aud.Report().Err()
 }
 
 // SetStraggler marks one NPU as a straggler whose endpoint (NMU)
@@ -392,7 +415,7 @@ type CollectiveRun struct {
 // RunCollectiveDetailed is RunCollective plus per-class traffic and the
 // communication-energy breakdown.
 func (p *Platform) RunCollectiveDetailed(op Op, bytes int64) (*CollectiveRun, error) {
-	inst, err := p.instance()
+	inst, aud, err := p.instance()
 	if err != nil {
 		return nil, err
 	}
@@ -404,6 +427,9 @@ func (p *Platform) RunCollectiveDetailed(op Op, bytes int64) (*CollectiveRun, er
 	inst.Eng.Run()
 	if !done {
 		return nil, fmt.Errorf("astrasim: collective %v (%d bytes) did not complete", op, bytes)
+	}
+	if err := auditErr(aud); err != nil {
+		return nil, err
 	}
 	intra, inter, scaleOut := inst.Net.TotalBytesByClass()
 	return &CollectiveRun{
@@ -418,7 +444,7 @@ func (p *Platform) RunCollectiveDetailed(op Op, bytes int64) (*CollectiveRun, er
 // Train simulates the workload's training loop for the given number of
 // forward/backward passes.
 func (p *Platform) Train(def Definition, passes int) (TrainingResult, error) {
-	inst, err := p.instance()
+	inst, aud, err := p.instance()
 	if err != nil {
 		return TrainingResult{}, err
 	}
@@ -426,7 +452,11 @@ func (p *Platform) Train(def Definition, passes int) (TrainingResult, error) {
 	if err != nil {
 		return TrainingResult{}, err
 	}
-	return tr.Run()
+	res, err := tr.Run()
+	if err != nil {
+		return res, err
+	}
+	return res, auditErr(aud)
 }
 
 // PipelineConfig describes a GPipe-style pipeline-parallel run (the third
@@ -455,11 +485,15 @@ func AutoPartition(def Definition, stages int) []int {
 // layer ranges on their NPUs, and microbatch activations/gradients cross
 // stage boundaries point-to-point over the fabric.
 func (p *Platform) TrainPipeline(def Definition, cfg PipelineConfig, passes int) (PipelineResult, error) {
-	inst, err := p.instance()
+	inst, aud, err := p.instance()
 	if err != nil {
 		return PipelineResult{}, err
 	}
-	return workload.RunPipeline(inst, def, cfg, passes)
+	res, err := workload.RunPipeline(inst, def, cfg, passes)
+	if err != nil {
+		return res, err
+	}
+	return res, auditErr(aud)
 }
 
 // ResNet50 returns the data-parallel ResNet-50 workload at the given local

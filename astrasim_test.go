@@ -211,3 +211,17 @@ func TestSwitchedPlatform(t *testing.T) {
 		t.Error("zero duration on switched platform")
 	}
 }
+
+func TestPlatformAudit(t *testing.T) {
+	p, err := astrasim.NewTorusPlatform(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetAudit(true)
+	if _, err := p.RunCollective(astrasim.AllReduce, 1<<20); err != nil {
+		t.Fatalf("audited collective: %v", err)
+	}
+	if _, err := p.Train(astrasim.ResNet50(4), 1); err != nil {
+		t.Fatalf("audited training: %v", err)
+	}
+}

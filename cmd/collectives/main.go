@@ -19,6 +19,10 @@
 // simulations fanned across -parallel worker goroutines (default: all
 // CPUs) and are reported in list order, so output is identical for any
 // worker count.
+//
+// -audit attaches the invariant auditor (byte conservation, quiescence,
+// free-list poisoning) to each run, prints its report, and exits non-zero
+// on any violation.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"runtime"
 	"strings"
 
+	"astrasim/internal/audit"
 	"astrasim/internal/cli"
 	"astrasim/internal/collectives"
 	"astrasim/internal/config"
@@ -50,6 +55,7 @@ func main() {
 	splits := flag.Int("preferred-set-splits", config.DefaultSystem().PreferredSetSplits, "chunks per set")
 	symmetric := flag.Bool("symmetric", false, "make local links identical to inter-package links")
 	workers := flag.Int("parallel", runtime.NumCPU(), "worker goroutines when sweeping multiple sizes (1 = serial)")
+	auditFlag := flag.Bool("audit", false, "audit each run for invariant violations (byte conservation, quiescence)")
 	flag.Parse()
 
 	op, err := collectives.ParseOp(strings.ToUpper(*opFlag))
@@ -99,11 +105,16 @@ func main() {
 	type result struct {
 		inst *system.Instance
 		h    *system.Handle
+		rep  audit.Report
 	}
 	results, err := parallel.Map(parallel.New(*workers), len(sizes), func(i int) (result, error) {
 		inst, err := system.NewInstance(topo, cfg, net)
 		if err != nil {
 			return result{}, err
+		}
+		var aud *audit.Auditor
+		if *auditFlag {
+			aud = audit.Attach(inst.Sys, inst.Net)
 		}
 		done := false
 		h, err := inst.Sys.IssueCollective(op, sizes[i], op.String(), func(*system.Handle) { done = true })
@@ -114,16 +125,28 @@ func main() {
 		if !done {
 			return result{}, fmt.Errorf("collective of %d bytes did not complete", sizes[i])
 		}
-		return result{inst: inst, h: h}, nil
+		r := result{inst: inst, h: h}
+		if aud != nil {
+			r.rep = aud.Report()
+		}
+		return r, nil
 	})
 	if err != nil {
 		fatal(err)
 	}
+	violations := 0
 	for i, r := range results {
 		if i > 0 {
 			fmt.Println()
 		}
 		printResult(op, strings.TrimSpace(sizeSpecs[i]), *algFlag, r.inst, r.h)
+		if *auditFlag {
+			fmt.Printf("audit: %s\n", r.rep)
+			violations += len(r.rep.Violations)
+		}
+	}
+	if violations > 0 {
+		fatal(fmt.Errorf("%d invariant violations", violations))
 	}
 }
 

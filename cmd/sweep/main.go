@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	sweep [-fig all|fig09|fig10|...|fig18] [-out results] [-quick] [-parallel N]
+//	sweep [-fig all|fig09|fig10|...|fig18] [-out results] [-quick] [-parallel N] [-audit]
+//
+// -audit attaches the invariant auditor (byte conservation, quiescence,
+// free-list poisoning) to every simulation instance the sweep creates and
+// exits non-zero if any run violates an invariant.
 //
 // Full mode sweeps the paper's message-size ranges and runs two training
 // iterations of ResNet-50 and Transformer; -quick shrinks everything for a
@@ -26,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"astrasim/internal/audit"
 	"astrasim/internal/experiments"
 )
 
@@ -35,7 +40,14 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sizes/iterations for a fast smoke run")
 	ext := flag.Bool("ext", false, "also run the future-work extension studies with -fig all")
 	workers := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation points (1 = serial)")
+	auditFlag := flag.Bool("audit", false, "audit every simulation for invariant violations (byte conservation, quiescence)")
 	flag.Parse()
+
+	var collector *audit.Collector
+	if *auditFlag {
+		collector = &audit.Collector{}
+		defer audit.AttachAll(collector)()
+	}
 
 	opts := experiments.Full()
 	if *quick {
@@ -84,6 +96,15 @@ func main() {
 	}
 	if ran == 0 {
 		fatal(fmt.Errorf("unknown figure %q; use fig09..fig18 or all", *fig))
+	}
+	if collector != nil {
+		fmt.Println(collector.Summary())
+		if v := collector.Violations(); len(v) > 0 {
+			for _, s := range v {
+				fmt.Fprintln(os.Stderr, "sweep: audit:", s)
+			}
+			fatal(fmt.Errorf("%d invariant violations", len(v)))
+		}
 	}
 }
 

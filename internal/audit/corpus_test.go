@@ -1,0 +1,52 @@
+package audit_test
+
+import (
+	"runtime"
+	"testing"
+
+	"astrasim/internal/audit"
+	"astrasim/internal/experiments"
+)
+
+// TestAuditCorpus runs the entire evaluation corpus — every figure of the
+// paper (Figs. 9-18) plus every extension study — with an auditor attached
+// to each simulation instance, and requires zero invariant violations.
+// This is the permanent regression net: any future change that loses
+// bytes, strands a chunk in an LSQ, leaks an injection slot, or corrupts
+// the packet free list fails here, figure by figure.
+func TestAuditCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus audit is minutes-long; skipped with -short")
+	}
+	c := &audit.Collector{}
+	restore := audit.AttachAll(c)
+	defer restore()
+
+	// Quick-scale options keep the corpus tractable; every figure and
+	// extension still runs, and the invariants are scale-independent.
+	opts := experiments.Quick()
+	opts.Workers = runtime.NumCPU()
+
+	figures := append(experiments.Figures(), experiments.Extensions()...)
+	if len(figures) == 0 {
+		t.Fatal("empty figure registry")
+	}
+	for _, f := range figures {
+		if _, err := f.Run(opts); err != nil {
+			t.Fatalf("%s: %v", f.ID, err)
+		}
+		if v := c.Violations(); len(v) > 0 {
+			t.Fatalf("%s: invariant violations:\n  %s", f.ID, v[0])
+		}
+	}
+	// Some figures reuse another figure's memoized result (fig15 reads
+	// fig14's cached ResNet run), so instance creation is asserted in
+	// aggregate, not per figure.
+	if c.Runs() == 0 {
+		t.Fatal("corpus created no audited instances (InstanceHook seam bypassed?)")
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("corpus audit failed:\n%v", v)
+	}
+	t.Log(c.Summary())
+}

@@ -1,0 +1,144 @@
+package collectives_test
+
+// Conservation property test (external package: it drives the timed
+// system/network layers and the audit subsystem, which themselves import
+// collectives): for every collective op x topology x algorithm drawn from
+// the experiment configurations, three independent byte accountings must
+// agree —
+//
+//  1. the analytic per-node traffic model TotalCollectiveBytesPerNode,
+//  2. the timed simulation's injected bytes as observed by the auditor,
+//  3. the chunk schedule's own ledger (Handle.ScheduledTxBytes),
+//
+// and the untimed reference executor must compute the correct all-reduce
+// result over the very same compiled phase lists the timed run executes.
+
+import (
+	"fmt"
+	"testing"
+
+	"astrasim/internal/audit"
+	"astrasim/internal/cli"
+	"astrasim/internal/collectives"
+	"astrasim/internal/config"
+	"astrasim/internal/system"
+)
+
+var conservationTopos = []string{
+	"1x8x1",      // single-dimension ring
+	"2x2x2",      // 3D torus, all dims active
+	"2x4x2",      // asymmetric 3D torus
+	"2x2x2x2",    // 4D torus extension
+	"a2a:2x4",    // hierarchical alltoall
+	"sw:4x2",     // switch-based scale-up
+	"so:2x2x1/2", // scale-out spine: exercises mixed-class paths
+}
+
+func TestByteConservationAcrossConfigs(t *testing.T) {
+	ops := []collectives.Op{
+		collectives.ReduceScatter, collectives.AllGather,
+		collectives.AllReduce, collectives.AllToAll,
+	}
+	const setBytes = 1 << 20
+	for _, spec := range conservationTopos {
+		for _, alg := range []config.Algorithm{config.Baseline, config.Enhanced} {
+			cfg := config.DefaultSystem()
+			cfg.Algorithm = alg
+			topo, err := cli.BuildTopology(spec, cli.DefaultTopologyOptions(), &cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, op := range ops {
+				t.Run(fmt.Sprintf("%s/%v/%v", spec, alg, op), func(t *testing.T) {
+					inst, err := system.NewInstance(topo, cfg, config.DefaultNetwork())
+					if err != nil {
+						t.Fatal(err)
+					}
+					aud := audit.Attach(inst.Sys, inst.Net)
+					done := false
+					h, err := inst.Sys.IssueCollective(op, setBytes, op.String(), func(*system.Handle) { done = true })
+					if err != nil {
+						t.Fatal(err)
+					}
+					inst.Eng.Run()
+					if !done {
+						t.Fatal("collective did not complete")
+					}
+
+					// The auditor's own invariants: conservation,
+					// quiescence, monotonic stats.
+					rep := aud.Report()
+					if err := rep.Err(); err != nil {
+						t.Fatal(err)
+					}
+
+					// Timed injection must equal the chunk schedule
+					// exactly...
+					if rep.InjectedBytes != h.ScheduledTxBytes() {
+						t.Fatalf("injected %d bytes, chunk schedule says %d",
+							rep.InjectedBytes, h.ScheduledTxBytes())
+					}
+					// ...and match the analytic model within the
+					// per-message truncation and per-chunk split slack.
+					analytic := collectives.TotalCollectiveBytesPerNode(h.Phases(), setBytes) *
+						int64(topo.NumNPUs())
+					tol := h.ScheduledMessages() + h.ScheduledMessages()/int64(max(h.NumChunks(), 1)) + 1
+					if d := rep.InjectedBytes - analytic; d > tol || d < -tol {
+						t.Fatalf("injected %d vs analytic %d: off by %d (tolerance %d)",
+							rep.InjectedBytes, analytic, d, tol)
+					}
+					if h.NumPhases() > 0 && rep.InjectedBytes == 0 {
+						t.Fatal("phased collective injected no traffic")
+					}
+				})
+			}
+		}
+	}
+}
+
+// The compiled phase lists the timed runs above execute must also compute
+// the right answer: the untimed reference executor's all-reduce result is
+// the elementwise global sum on every node, for every topology x algorithm
+// in the same grid.
+func TestUntimedExecutorAgreesAcrossConfigs(t *testing.T) {
+	const L = 1 << 9 // divisible by every group size in the grid
+	for _, spec := range conservationTopos {
+		for _, alg := range []config.Algorithm{config.Baseline, config.Enhanced} {
+			t.Run(fmt.Sprintf("%s/%v", spec, alg), func(t *testing.T) {
+				cfg := config.DefaultSystem()
+				topo, err := cli.BuildTopology(spec, cli.DefaultTopologyOptions(), &cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				phases, err := collectives.Compile(collectives.AllReduce, topo, alg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := topo.NumNPUs()
+				initial := make([][]float64, n)
+				want := make([]float64, L)
+				for i := range initial {
+					initial[i] = make([]float64, L)
+					for j := range initial[i] {
+						initial[i][j] = float64(i*7 + j%13)
+						want[j] += initial[i][j]
+					}
+				}
+				states, err := collectives.ExecuteData(phases, topo, initial)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, s := range states {
+					if s.Lo != 0 || s.Hi != L {
+						t.Fatalf("node %d holds [%d,%d), want the full vector", i, s.Lo, s.Hi)
+					}
+					for j, v := range s.Vals {
+						if v != want[j] {
+							t.Fatalf("node %d elem %d = %v, want %v", i, j, v, want[j])
+						}
+					}
+				}
+			})
+		}
+	}
+}

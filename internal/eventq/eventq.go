@@ -113,6 +113,9 @@ type Engine struct {
 	queue   eventHeap
 	fired   uint64
 	stopped bool
+	// onDrain, when non-nil, runs whenever a Run/RunUntil call empties
+	// the queue (see SetOnDrain).
+	onDrain func()
 }
 
 // New returns a fresh engine at time zero.
@@ -181,12 +184,27 @@ func (e *Engine) Step() bool {
 	return true
 }
 
+// SetOnDrain registers fn to run every time a Run or RunUntil call leaves
+// the queue empty (the simulation reached quiescence). At that moment no
+// event is in flight, so fn observes a settled simulation state — the
+// audit layer's quiescence checks hang off this hook. fn must not
+// schedule new events; nil clears the hook.
+func (e *Engine) SetOnDrain(fn func()) { e.onDrain = fn }
+
+// drained fires the drain hook if the queue emptied without Stop.
+func (e *Engine) drained() {
+	if e.onDrain != nil && !e.stopped && e.queue.len() == 0 {
+		e.onDrain()
+	}
+}
+
 // Run fires events until the queue is empty or Stop is called, and returns
 // the final simulation time.
 func (e *Engine) Run() Time {
 	e.stopped = false
 	for !e.stopped && e.Step() {
 	}
+	e.drained()
 	return e.now
 }
 
@@ -201,6 +219,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	for !e.stopped && e.queue.len() > 0 && e.queue.items[0].at <= deadline {
 		e.Step()
 	}
+	e.drained()
 	if e.now < deadline && !e.stopped {
 		e.now = deadline
 	}

@@ -85,6 +85,13 @@ func (n *Network) freePacket(p *packet) {
 	if n.noFreeList {
 		return
 	}
+	if n.poison {
+		if p.bytes == poisonBytes {
+			panic("noc: double free of recycled packet")
+		}
+		p.bytes = poisonBytes
+		p.pathPos = -1
+	}
 	p.msg = nil
 	n.pktFree = append(n.pktFree, p)
 }
@@ -159,9 +166,35 @@ type Network struct {
 	// disables recycling so tests can compare against the allocating path.
 	pktFree    []*packet
 	noFreeList bool
+	// poison enables free-list poisoning: freed packets are stamped with a
+	// sentinel and every hot-path touch checks for it, so a use-after-free
+	// (or double free) panics at the aliasing site instead of silently
+	// corrupting an unrelated message. Enabled by the audit layer; when
+	// false the only cost is one predictable branch per touch.
+	poison bool
+
+	// OnSend, when non-nil, observes every injected message after its ID
+	// and Injected timestamp are assigned and before packetization. The
+	// audit layer uses it for byte-conservation accounting; disabled it
+	// costs one nil check per message (not per packet).
+	OnSend func(*Message)
 
 	// DeliveredMessages counts completed messages (for tests/stats).
 	DeliveredMessages uint64
+}
+
+// poisonBytes is the sentinel stamped into freed packets in poison mode;
+// no live packet can carry a negative size.
+const poisonBytes = -0x600DDEAD
+
+// SetPoisonFreeList toggles free-list poisoning (see Network.poison).
+func (n *Network) SetPoisonFreeList(on bool) { n.poison = on }
+
+// checkAlive panics if p was freed and not reallocated — a use-after-free.
+func (n *Network) checkAlive(p *packet, site string) {
+	if p.bytes == poisonBytes {
+		panic("noc: use-after-free of recycled packet in " + site)
+	}
 }
 
 // New builds the network for topo using the given Garnet-level parameters.
@@ -204,15 +237,34 @@ func bufferPackets(vcs, buffersPerVC, flitBytes, packetSize int) int {
 	return cap
 }
 
-// PacketSizeFor returns the configured packet size for a link class.
+// PacketSizeFor returns the configured packet size for a link class. The
+// switch is deliberately exhaustive: a new link class must be given its
+// own packet size here, not silently inherit the inter-package one.
 func (n *Network) PacketSizeFor(class topology.LinkClass) int {
 	switch class {
 	case topology.IntraPackage:
 		return n.params.LocalPacketSize
+	case topology.InterPackage:
+		return n.params.PackagePacketSize
 	case topology.ScaleOutLink:
 		return n.params.ScaleOutPacketSize
 	}
-	return n.params.PackagePacketSize
+	panic(fmt.Sprintf("noc: no packet size configured for link class %v", class))
+}
+
+// pathPacketSize returns the packet size for a message traversing path:
+// the smallest packet-size class along it, so no hop ever carries a
+// packet larger than its class allows (a local-link-entry message that
+// crosses inter-package or scale-out hops must be chunked for the
+// tightest hop — downstream buffer capacities are computed per class).
+func (n *Network) pathPacketSize(path []topology.LinkID) int64 {
+	pktSize := int64(n.PacketSizeFor(n.links[path[0]].spec.Class))
+	for _, id := range path[1:] {
+		if ps := int64(n.PacketSizeFor(n.links[id].spec.Class)); ps < pktSize {
+			pktSize = ps
+		}
+	}
+	return pktSize
 }
 
 // Send injects msg. The message must have a non-empty path and positive
@@ -228,9 +280,12 @@ func (n *Network) Send(msg *Message) {
 	n.nextID++
 	msg.ID = n.nextID
 	msg.Injected = n.eng.Now()
+	if n.OnSend != nil {
+		n.OnSend(msg)
+	}
 
 	first := n.links[msg.Path[0]]
-	pktSize := int64(n.PacketSizeFor(first.spec.Class))
+	pktSize := n.pathPacketSize(msg.Path)
 	numPkts := (msg.Bytes + pktSize - 1) / pktSize
 	if maxP := int64(n.params.MaxPacketsPerMessage); maxP > 0 && numPkts > maxP {
 		numPkts = maxP
@@ -272,6 +327,9 @@ func (l *link) acceptFromNetwork(p *packet, wireDelay eventq.Time) {
 // its wire delay (static function: no per-packet closure allocation).
 func linkArrive(a, b any) {
 	l, p := a.(*link), b.(*packet)
+	if l.net.poison {
+		l.net.checkAlive(p, "linkArrive")
+	}
 	l.reserved--
 	l.queue = append(l.queue, p)
 	if len(l.queue) > l.stats.PeakQueue {
@@ -286,6 +344,9 @@ func (l *link) kick() {
 		return
 	}
 	p := l.queue[0]
+	if l.net.poison {
+		l.net.checkAlive(p, "kick")
+	}
 	l.busy = true
 	if !p.msg.started && p.pathPos == 0 {
 		p.msg.started = true
@@ -450,4 +511,38 @@ func (n *Network) Quiet() bool {
 		}
 	}
 	return true
+}
+
+// LinkDebugState is a read-only snapshot of one link's dynamic state, for
+// the audit layer's quiescence and stats-monotonicity checks.
+type LinkDebugState struct {
+	ID    topology.LinkID
+	Class topology.LinkClass
+	// Queued packets, Reserved in-flight buffer slots, and Waiters
+	// (upstream links stalled on this buffer) must all be zero at
+	// quiescence; Busy/Blocked must be false.
+	Queued   int
+	Reserved int
+	Waiters  int
+	Busy     bool
+	Blocked  bool
+	Stats    LinkStats
+}
+
+// DebugLinks snapshots every link's dynamic state.
+func (n *Network) DebugLinks() []LinkDebugState {
+	out := make([]LinkDebugState, len(n.links))
+	for i, l := range n.links {
+		out[i] = LinkDebugState{
+			ID:       l.spec.ID,
+			Class:    l.spec.Class,
+			Queued:   len(l.queue),
+			Reserved: l.reserved,
+			Waiters:  len(l.waiters),
+			Busy:     l.busy,
+			Blocked:  l.blocked,
+			Stats:    l.stats,
+		}
+	}
+	return out
 }

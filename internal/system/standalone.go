@@ -18,6 +18,13 @@ type Instance struct {
 	Sys  *System
 }
 
+// InstanceHook, when non-nil, observes every Instance NewInstance returns —
+// the seam the audit layer uses to attach itself to every simulation a
+// sweep or test corpus creates, without threading a flag through each call
+// site. Set it before simulations start; it must tolerate concurrent calls
+// when instances are built from parallel sweep workers.
+var InstanceHook func(*Instance)
+
 // NewInstance wires an engine, network and system layer over topo.
 func NewInstance(topo topology.Topology, sysCfg config.System, netCfg config.Network) (*Instance, error) {
 	eng := eventq.New()
@@ -29,7 +36,11 @@ func NewInstance(topo topology.Topology, sysCfg config.System, netCfg config.Net
 	if err != nil {
 		return nil, err
 	}
-	return &Instance{Eng: eng, Topo: topo, Net: net, Sys: sys}, nil
+	inst := &Instance{Eng: eng, Topo: topo, Net: net, Sys: sys}
+	if InstanceHook != nil {
+		InstanceHook(inst)
+	}
+	return inst, nil
 }
 
 // RunCollective executes a single collective of op/bytes to completion on

@@ -49,6 +49,12 @@ type Handle struct {
 	phases     []collectives.Phase
 	chunks     []*chunk
 	chunksDone int
+	// done is set by complete, *after* DoneAt is stamped — it is the only
+	// completion truth. Deriving Done from chunk counts alone would report
+	// a zero-phase (single-node / no-op) collective done at issue time,
+	// before its scheduled completion event fires and while DoneAt is
+	// still zero (making Duration underflow for any issue at t>0).
+	done bool
 
 	// Breakdown accumulators, indexed by phase (0 = ready queue).
 	queueSum []eventq.Time // queueSum[0] is the P0 ready-queue delay
@@ -64,10 +70,44 @@ func (h *Handle) NumPhases() int { return len(h.phases) }
 // Phases returns the compiled phase list.
 func (h *Handle) Phases() []collectives.Phase { return h.phases }
 
-// Done reports completion.
-func (h *Handle) Done() bool { return h.chunksDone == len(h.chunks) && len(h.chunks) > 0 || h.noWork() }
+// Done reports completion: the completion event fired and DoneAt is set.
+func (h *Handle) Done() bool { return h.done }
 
-func (h *Handle) noWork() bool { return len(h.chunks) == 0 }
+// NumChunks returns how many chunks the set was split into (0 for a
+// zero-phase collective).
+func (h *Handle) NumChunks() int { return len(h.chunks) }
+
+// ScheduledTxBytes returns the total bytes the compiled schedule transmits
+// across all nodes and phases, chunk by chunk — exactly what the system
+// layer hands the network layer over the collective's lifetime. The audit
+// layer checks injected traffic against it byte-for-byte.
+func (h *Handle) ScheduledTxBytes() int64 {
+	var total int64
+	for _, c := range h.chunks {
+		var perNode int64
+		for _, ph := range h.phases {
+			perNode += ph.TotalBytesPerNode(c.bytes)
+		}
+		total += perNode * int64(len(c.nodes))
+	}
+	return total
+}
+
+// ScheduledMessages returns how many messages the compiled schedule
+// injects across all nodes, chunks and phases (the audit layer's
+// rounding-tolerance unit: each message deviates from the analytic
+// fraction by less than one byte).
+func (h *Handle) ScheduledMessages() int64 {
+	var total int64
+	for _, c := range h.chunks {
+		var perNode int64
+		for _, ph := range h.phases {
+			perNode += int64(ph.NumSteps()) * int64(ph.MessagesPerStep())
+		}
+		total += perNode * int64(len(c.nodes))
+	}
+	return total
+}
 
 // Duration returns end-to-end collective latency.
 func (h *Handle) Duration() eventq.Time { return h.DoneAt - h.CreatedAt }
@@ -130,6 +170,17 @@ type System struct {
 	// endpointScale multiplies a node's endpoint delay (1 = nominal);
 	// the straggler-injection hook.
 	endpointScale []float64
+	// endpointCarry accumulates, per NPU, the sub-cycle remainder of
+	// scaled endpoint costs across messages (like link.serCycles), so a
+	// fractional straggler factor loses no time to truncation.
+	endpointCarry []float64
+
+	// OnIssue, when non-nil, observes every successfully issued
+	// collective handle (the audit layer's registration hook). OnP2P
+	// observes every point-to-point send that enters the network.
+	// Both cost one nil check on cold paths when disabled.
+	OnIssue func(*Handle)
+	OnP2P   func(src, dst topology.Node, bytes int64)
 	// injectors throttle per-node message injection under the Normal
 	// injection policy (Table III #15): at most one in-flight message
 	// per outgoing link; Aggressive injects without limit.
@@ -246,6 +297,7 @@ func New(eng *eventq.Engine, topo topology.Topology, net *noc.Network, cfg confi
 		lsqs:          make(map[lsqKey]*lsq),
 		endpointBusy:  make([]eventq.Time, topo.NumNPUs()),
 		endpointScale: scale,
+		endpointCarry: make([]float64, topo.NumNPUs()),
 		injectors:     injectors,
 	}, nil
 }
@@ -310,10 +362,16 @@ func (s *System) Issue(spec CollectiveSpec, onComplete func(*Handle)) (*Handle, 
 	}
 	if len(phases) == 0 {
 		// Single-node topology or no-op: complete immediately.
+		if s.OnIssue != nil {
+			s.OnIssue(h)
+		}
 		s.Eng.Schedule(0, func() { s.complete(h) })
 		return h, nil
 	}
 	h.chunks = s.makeChunks(h)
+	if s.OnIssue != nil {
+		s.OnIssue(h)
+	}
 	s.enqueueReady(h.chunks)
 	s.dispatch()
 	return h, nil
@@ -411,6 +469,7 @@ func (s *System) chunkComplete(c *chunk) {
 
 func (s *System) complete(h *Handle) {
 	h.DoneAt = s.Eng.Now()
+	h.done = true
 	if h.OnComplete != nil {
 		h.OnComplete(h)
 	}
@@ -426,8 +485,13 @@ func (s *System) endpointReceive(node topology.Node, extra eventq.Time, fn func(
 	if s.endpointBusy[node] > start {
 		start = s.endpointBusy[node]
 	}
-	cost := float64(eventq.Time(s.Cfg.EndpointDelay)+extra) * s.endpointScale[node]
-	done := start + eventq.Time(cost)
+	// Accumulate the fractional remainder per node (like link.serCycles):
+	// truncating each message's scaled cost independently would silently
+	// drop up to a cycle per message under fractional straggler factors.
+	exact := float64(eventq.Time(s.Cfg.EndpointDelay)+extra)*s.endpointScale[node] + s.endpointCarry[node]
+	cost := eventq.Time(exact)
+	s.endpointCarry[node] = exact - float64(cost)
+	done := start + cost
 	s.endpointBusy[node] = done
 	s.Eng.At(done, fn)
 }
@@ -448,6 +512,9 @@ func (s *System) SendPointToPoint(src, dst topology.Node, bytes int64, onDeliver
 	if s.router == nil {
 		s.router = topology.NewRouter(s.Topo)
 	}
+	if s.OnP2P != nil {
+		s.OnP2P(src, dst, bytes)
+	}
 	s.p2pSeq++
 	path := s.router.Route(src, dst, s.p2pSeq)
 	msg := &noc.Message{
@@ -459,6 +526,41 @@ func (s *System) SendPointToPoint(src, dst topology.Node, bytes int64, onDeliver
 	}
 	s.inject(src, func() { s.Net.Send(msg) })
 	return nil
+}
+
+// DebugState is a read-only snapshot of the scheduler's in-flight state,
+// used by the audit layer's quiescence check: at a drained event queue
+// every counter must be zero.
+type DebugState struct {
+	// ReadyChunks counts chunks accepted but not yet issued.
+	ReadyChunks int
+	// InFirstPhase counts issued chunks not yet through their first phase.
+	InFirstPhase int
+	// LSQActive / LSQQueued sum chunks holding or waiting for a slot
+	// across all logical scheduling queues.
+	LSQActive int
+	LSQQueued int
+	// InjectorsInFlight / InjectorsQueued sum in-flight message slots and
+	// deferred sends across all per-node injection throttles.
+	InjectorsInFlight int
+	InjectorsQueued   int
+}
+
+// DebugState snapshots the scheduler state.
+func (s *System) DebugState() DebugState {
+	st := DebugState{
+		ReadyChunks:  len(s.ready),
+		InFirstPhase: s.inFirstPhase,
+	}
+	for _, q := range s.lsqs {
+		st.LSQActive += q.active
+		st.LSQQueued += len(q.queue)
+	}
+	for i := range s.injectors {
+		st.InjectorsInFlight += s.injectors[i].inFlight
+		st.InjectorsQueued += len(s.injectors[i].queue)
+	}
+	return st
 }
 
 // SetNodeStragglerFactor multiplies one NPU's endpoint (NMU) processing
