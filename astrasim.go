@@ -34,6 +34,7 @@ import (
 	"astrasim/internal/compute"
 	"astrasim/internal/config"
 	"astrasim/internal/energy"
+	"astrasim/internal/faults"
 	"astrasim/internal/models"
 	"astrasim/internal/system"
 	"astrasim/internal/topology"
@@ -131,6 +132,35 @@ type Platform struct {
 	// audit attaches an invariant auditor (byte conservation, quiescence,
 	// free-list poisoning) to every instance; violations turn into errors.
 	audit bool
+	// faultPlan, when non-nil, is applied to every simulation instance
+	// this platform creates (degraded links, outages, stragglers, packet
+	// drops with retransmit).
+	faultPlan *FaultPlan
+}
+
+// FaultPlan is a declarative, seed-reproducible fault-injection plan:
+// degraded links, transient outages, per-node stragglers, and packet
+// drops recovered by timeout/retransmit. See the faults package for the
+// schema and DESIGN.md §8 for semantics.
+type FaultPlan = faults.Plan
+
+// LoadFaultPlan reads and validates a JSON fault plan from a file.
+func LoadFaultPlan(path string) (*FaultPlan, error) { return faults.Load(path) }
+
+// ParseFaultPlan reads and validates a JSON fault plan.
+func ParseFaultPlan(r io.Reader) (*FaultPlan, error) { return faults.Parse(r) }
+
+// SetFaultPlan applies the plan to every subsequent run on this platform
+// (nil clears it). The plan is validated immediately; fault decisions
+// derive from the plan's seed, so runs stay deterministic.
+func (p *Platform) SetFaultPlan(plan *FaultPlan) error {
+	if plan != nil {
+		if err := plan.Validate(); err != nil {
+			return err
+		}
+	}
+	p.faultPlan = plan
+	return nil
 }
 
 // SetAudit toggles invariant auditing for every subsequent run: byte
@@ -152,6 +182,11 @@ func (p *Platform) instance() (*system.Instance, *audit.Auditor, error) {
 	var aud *audit.Auditor
 	if p.audit {
 		aud = audit.Attach(inst.Sys, inst.Net)
+	}
+	if p.faultPlan != nil {
+		if err := faults.Apply(p.faultPlan, inst); err != nil {
+			return nil, nil, err
+		}
 	}
 	return inst, aud, nil
 }
@@ -410,6 +445,10 @@ type CollectiveRun struct {
 	ScaleOutBytes     int64
 	// Energy is the communication energy at DefaultEnergyParams.
 	Energy EnergyBreakdown
+	// DroppedPackets and RetransmittedBytes report the fault subsystem's
+	// activity (zero unless a fault plan with drops was set).
+	DroppedPackets     uint64
+	RetransmittedBytes int64
 }
 
 // RunCollectiveDetailed is RunCollective plus per-class traffic and the
@@ -433,11 +472,13 @@ func (p *Platform) RunCollectiveDetailed(op Op, bytes int64) (*CollectiveRun, er
 	}
 	intra, inter, scaleOut := inst.Net.TotalBytesByClass()
 	return &CollectiveRun{
-		CollectiveResult:  h,
-		IntraPackageBytes: intra,
-		InterPackageBytes: inter,
-		ScaleOutBytes:     scaleOut,
-		Energy:            energy.CommEnergy(inst.Net, energy.Default()),
+		CollectiveResult:   h,
+		IntraPackageBytes:  intra,
+		InterPackageBytes:  inter,
+		ScaleOutBytes:      scaleOut,
+		Energy:             energy.CommEnergy(inst.Net, energy.Default()),
+		DroppedPackets:     inst.Net.DropStats().DroppedPackets,
+		RetransmittedBytes: inst.Sys.RetransmittedBytes(),
 	}, nil
 }
 

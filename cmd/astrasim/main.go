@@ -12,6 +12,11 @@
 //	astrasim -workload resnet50 -topology 2x4x4 -num-passes 2
 //	astrasim -workload transformer -topology 2x2x2 -scheduling-policy LIFO
 //	astrasim -workload my_dnn.txt -topology a2a:4x4 -switches 2
+//	astrasim -workload resnet50 -faults examples/faults/lossy.json
+//
+// -faults applies a JSON fault plan (degraded links, outages, stragglers,
+// packet drops with retransmit; see DESIGN.md §8) to the training run and
+// reports the dropped-packet and retransmit counters.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"astrasim/internal/cli"
 	"astrasim/internal/compute"
 	"astrasim/internal/config"
+	"astrasim/internal/faults"
 	"astrasim/internal/models"
 	"astrasim/internal/report"
 	"astrasim/internal/system"
@@ -49,6 +55,7 @@ func main() {
 	packageBW := flag.Float64("package-link-bw", 25, "inter-package link bandwidth (GB/s)")
 	pktCap := flag.Int("max-packets-per-message", 8, "packet-event cap per message (0 = exact)")
 	writeWorkload := flag.String("write-workload", "", "write the selected workload as a Fig. 8 file and exit")
+	faultsFlag := flag.String("faults", "", "JSON fault plan for the run (see DESIGN.md §8)")
 	traceOut := flag.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) of the run to this file")
 	flag.Parse()
 
@@ -102,6 +109,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var plan *faults.Plan
+	if *faultsFlag != "" {
+		if plan, err = faults.Load(*faultsFlag); err != nil {
+			fatal(err)
+		}
+		if err := faults.Apply(plan, inst); err != nil {
+			fatal(err)
+		}
+	}
 	var rec *trace.Recorder
 	if *traceOut != "" {
 		rec = trace.New()
@@ -150,6 +166,11 @@ func main() {
 	fmt.Printf("exposed communication: %d cycles (%s of total)\n", res.TotalExposed(),
 		report.Percent(res.ExposedRatio()))
 	fmt.Printf("raw communication (overlappable): %d cycles\n", res.TotalComm())
+	if plan != nil {
+		ds := inst.Net.DropStats()
+		fmt.Printf("faults: %d packets dropped (%d bytes), %d retransmits (%d goodput bytes resent)\n",
+			ds.DroppedPackets, ds.DroppedBytes, inst.Sys.Retransmits(), inst.Sys.RetransmittedBytes())
+	}
 }
 
 func loadWorkload(name string, batch, seqLen int, scale float64) (workload.Definition, error) {

@@ -23,6 +23,10 @@
 // -audit attaches the invariant auditor (byte conservation, quiescence,
 // free-list poisoning) to each run, prints its report, and exits non-zero
 // on any violation.
+//
+// -faults applies a JSON fault plan (degraded links, outages, stragglers,
+// packet drops with retransmit; see DESIGN.md §8) to each run and reports
+// the dropped-packet and retransmit counters alongside the usual stats.
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 	"astrasim/internal/collectives"
 	"astrasim/internal/config"
 	"astrasim/internal/energy"
+	"astrasim/internal/faults"
 	"astrasim/internal/parallel"
 	"astrasim/internal/system"
 	"astrasim/internal/topology"
@@ -56,7 +61,16 @@ func main() {
 	symmetric := flag.Bool("symmetric", false, "make local links identical to inter-package links")
 	workers := flag.Int("parallel", runtime.NumCPU(), "worker goroutines when sweeping multiple sizes (1 = serial)")
 	auditFlag := flag.Bool("audit", false, "audit each run for invariant violations (byte conservation, quiescence)")
+	faultsFlag := flag.String("faults", "", "JSON fault plan applied to each run (see DESIGN.md §8)")
 	flag.Parse()
+
+	var plan *faults.Plan
+	if *faultsFlag != "" {
+		var err error
+		if plan, err = faults.Load(*faultsFlag); err != nil {
+			fatal(err)
+		}
+	}
 
 	op, err := collectives.ParseOp(strings.ToUpper(*opFlag))
 	if err != nil {
@@ -116,6 +130,11 @@ func main() {
 		if *auditFlag {
 			aud = audit.Attach(inst.Sys, inst.Net)
 		}
+		if plan != nil {
+			if err := faults.Apply(plan, inst); err != nil {
+				return result{}, err
+			}
+		}
 		done := false
 		h, err := inst.Sys.IssueCollective(op, sizes[i], op.String(), func(*system.Handle) { done = true })
 		if err != nil {
@@ -140,6 +159,11 @@ func main() {
 			fmt.Println()
 		}
 		printResult(op, strings.TrimSpace(sizeSpecs[i]), *algFlag, r.inst, r.h)
+		if plan != nil {
+			ds := r.inst.Net.DropStats()
+			fmt.Printf("faults: %d packets dropped (%d bytes), %d retransmits (%d goodput bytes resent)\n",
+				ds.DroppedPackets, ds.DroppedBytes, r.inst.Sys.Retransmits(), r.inst.Sys.RetransmittedBytes())
+		}
 		if *auditFlag {
 			fmt.Printf("audit: %s\n", r.rep)
 			violations += len(r.rep.Violations)

@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	sweep [-fig all|fig09|fig10|...|fig18] [-out results] [-quick] [-parallel N] [-audit]
+//	sweep [-fig all|fig09|fig10|...|fig18] [-out results] [-quick] [-parallel N] [-audit] [-faults plan.json]
 //
 // -audit attaches the invariant auditor (byte conservation, quiescence,
 // free-list poisoning) to every simulation instance the sweep creates and
 // exits non-zero if any run violates an invariant.
+//
+// -faults applies a JSON fault plan (degraded links, outages, stragglers,
+// packet drops with retransmit; see DESIGN.md §8) to every simulation the
+// sweep creates — "rerun the paper's figures on a lossy fabric" is one
+// flag. Fault decisions derive from the plan's seed, so results stay
+// byte-identical for every -parallel value.
 //
 // Full mode sweeps the paper's message-size ranges and runs two training
 // iterations of ResNet-50 and Transformer; -quick shrinks everything for a
@@ -32,6 +38,7 @@ import (
 
 	"astrasim/internal/audit"
 	"astrasim/internal/experiments"
+	"astrasim/internal/faults"
 )
 
 func main() {
@@ -41,12 +48,24 @@ func main() {
 	ext := flag.Bool("ext", false, "also run the future-work extension studies with -fig all")
 	workers := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation points (1 = serial)")
 	auditFlag := flag.Bool("audit", false, "audit every simulation for invariant violations (byte conservation, quiescence)")
+	faultsFlag := flag.String("faults", "", "JSON fault plan applied to every simulation (see DESIGN.md §8)")
 	flag.Parse()
 
 	var collector *audit.Collector
 	if *auditFlag {
 		collector = &audit.Collector{}
 		defer audit.AttachAll(collector)()
+	}
+	if *faultsFlag != "" {
+		plan, err := faults.Load(*faultsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		restore, err := faults.AttachAll(plan)
+		if err != nil {
+			fatal(err)
+		}
+		defer restore()
 	}
 
 	opts := experiments.Full()

@@ -1,0 +1,73 @@
+// Graceful degradation: run the same 64 MB enhanced all-reduce on a
+// 4x4x4 torus three ways — fault-free, with the inter-package fabric at
+// half bandwidth, and on a lossy fabric (0.1% inter-package packet drops)
+// recovered by the timeout/retransmit protocol — and compare completion
+// time and recovery traffic. Fault plans are declarative JSON
+// (DESIGN.md §8); this example builds them in code via the same schema.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"astrasim"
+)
+
+func main() {
+	const size = 64 << 20
+	p, err := astrasim.NewTorusPlatform(4, 4, 4, astrasim.WithAlgorithm(astrasim.Enhanced))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.SetAudit(true) // byte conservation must hold exactly, even under loss
+
+	run := func(name string, plan *astrasim.FaultPlan) *astrasim.CollectiveRun {
+		if err := p.SetFaultPlan(plan); err != nil {
+			log.Fatal(err)
+		}
+		res, err := p.RunCollectiveDetailed(astrasim.AllReduce, size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %9d cycles", name, res.Duration())
+		if res.DroppedPackets > 0 {
+			fmt.Printf("   (%d packets dropped, %.1f MB retransmitted)",
+				res.DroppedPackets, float64(res.RetransmittedBytes)/(1<<20))
+		}
+		fmt.Println()
+		return res
+	}
+
+	base := run("fault-free", nil)
+
+	// Half-bandwidth inter-package links for the whole run.
+	degraded, err := astrasim.ParseFaultPlan(strings.NewReader(`{
+		"degraded_links": [{"class": "inter", "start": 0, "end": 100000000,
+		                    "bandwidth_factor": 0.5}]
+	}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	deg := run("inter links at 1/2 BW", degraded)
+
+	// 0.1% packet loss on inter-package links, timeout/retransmit recovery.
+	lossy, err := astrasim.ParseFaultPlan(strings.NewReader(`{
+		"seed": 42,
+		"drops": [{"class": "inter", "probability": 0.001}],
+		"retry": {"timeout": 10000, "backoff": 2, "max_retries": 30}
+	}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	drop := run("0.1% inter packet loss", lossy)
+
+	fmt.Println()
+	fmt.Printf("Halving the bottleneck links costs %.2fx; losing 1 packet in 1000 costs %.2fx:\n",
+		float64(deg.Duration())/float64(base.Duration()),
+		float64(drop.Duration())/float64(base.Duration()))
+	fmt.Println("every drop voids a whole in-flight message and stalls its chunk for the")
+	fmt.Println("detection timeout, so loss hurts far more than the raw bytes suggest.")
+	fmt.Println("The audit layer verified exact byte conservation on all three runs,")
+	fmt.Println("counting retransmitted goodput in its own ledger (DESIGN.md §8).")
+}

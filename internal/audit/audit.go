@@ -130,10 +130,12 @@ func (a *Auditor) onDrain() {
 // quiescence checks.
 func (a *Auditor) Report() Report {
 	r := Report{
-		Collectives:   len(a.handles),
-		Messages:      a.messages,
-		InjectedBytes: a.injectedBytes,
-		P2PBytes:      a.p2pBytes,
+		Collectives:        len(a.handles),
+		Messages:           a.messages,
+		InjectedBytes:      a.injectedBytes,
+		P2PBytes:           a.p2pBytes,
+		RetransmittedBytes: a.sys.RetransmittedBytes(),
+		DroppedPackets:     a.net.DropStats().DroppedPackets,
 	}
 	r.Violations = append(r.Violations, a.checkConservation()...)
 	r.Violations = append(r.Violations, a.checkQuiescence()...)
@@ -141,31 +143,41 @@ func (a *Auditor) Report() Report {
 	return r
 }
 
-// checkConservation verifies the three byte-conservation ledgers.
+// checkConservation verifies the three byte-conservation ledgers. Fault
+// runs are held to the same exactness: retransmitted traffic is accounted
+// in its own ledger on top of the scheduled goodput, and dropped packets'
+// uncrossed path links are subtracted per class via the network's
+// shortfall ledger.
 func (a *Auditor) checkConservation() []string {
 	var v []string
 
 	// (1) Schedule -> network: what the compiled schedules say all nodes
-	// transmit must equal what entered the network, byte for byte.
+	// transmit — plus point-to-point sends, plus the retransmit ledger —
+	// must equal what entered the network, byte for byte.
 	var scheduled int64
 	for _, h := range a.handles {
 		scheduled += h.ScheduledTxBytes()
 	}
-	if want := scheduled + a.p2pBytes; a.injectedBytes != want {
+	retx := a.sys.RetransmittedBytes()
+	if want := scheduled + a.p2pBytes + retx; a.injectedBytes != want {
 		v = append(v, fmt.Sprintf(
-			"conservation: injected %d bytes, schedules+p2p say %d (collectives %d + p2p %d)",
-			a.injectedBytes, want, scheduled, a.p2pBytes))
+			"conservation: injected %d bytes, schedules+p2p+retransmits say %d (collectives %d + p2p %d + retransmitted %d)",
+			a.injectedBytes, want, scheduled, a.p2pBytes, retx))
 	}
 
 	// (2) Network -> links: every injected byte must cross every link of
-	// its path exactly once, per class.
+	// its path exactly once, per class — except the links downstream of a
+	// fault-injected drop, which the network tallies in its shortfall
+	// ledger at the drop site.
 	intra, inter, scaleOut := a.net.TotalBytesByClass()
 	actual := [numLinkClasses]int64{intra, inter, scaleOut}
+	sIntra, sInter, sScaleOut := a.net.DroppedPathBytesByClass()
+	shortfall := [numLinkClasses]int64{sIntra, sInter, sScaleOut}
 	for c, want := range a.expectClassBytes {
-		if actual[c] != want {
+		if actual[c]+shortfall[c] != want {
 			v = append(v, fmt.Sprintf(
-				"conservation: %v links carried %d bytes, injected paths say %d",
-				topology.LinkClass(c), actual[c], want))
+				"conservation: %v links carried %d bytes (+%d dropped short), injected paths say %d",
+				topology.LinkClass(c), actual[c], shortfall[c], want))
 		}
 	}
 
@@ -242,11 +254,14 @@ type Report struct {
 	// provably conservative and balanced.
 	Violations []string
 	// Collectives / Messages / InjectedBytes / P2PBytes summarize the
-	// audited traffic.
-	Collectives   int
-	Messages      uint64
-	InjectedBytes int64
-	P2PBytes      int64
+	// audited traffic. RetransmittedBytes and DroppedPackets summarize
+	// fault-injection recovery activity (zero on fault-free runs).
+	Collectives        int
+	Messages           uint64
+	InjectedBytes      int64
+	P2PBytes           int64
+	RetransmittedBytes int64
+	DroppedPackets     uint64
 }
 
 // OK reports a clean audit.
@@ -262,8 +277,12 @@ func (r Report) Err() error {
 
 func (r Report) String() string {
 	if r.OK() {
-		return fmt.Sprintf("audit ok: %d collectives, %d messages, %d bytes injected (%d p2p), 0 violations",
-			r.Collectives, r.Messages, r.InjectedBytes, r.P2PBytes)
+		faults := ""
+		if r.DroppedPackets > 0 || r.RetransmittedBytes > 0 {
+			faults = fmt.Sprintf(", %d packets dropped / %d bytes retransmitted", r.DroppedPackets, r.RetransmittedBytes)
+		}
+		return fmt.Sprintf("audit ok: %d collectives, %d messages, %d bytes injected (%d p2p)%s, 0 violations",
+			r.Collectives, r.Messages, r.InjectedBytes, r.P2PBytes, faults)
 	}
 	return fmt.Sprintf("audit FAILED: %d violation(s):\n  %s", len(r.Violations), strings.Join(r.Violations, "\n  "))
 }

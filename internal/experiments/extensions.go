@@ -290,6 +290,7 @@ func Extensions() []Figure {
 		{"extscaleout", "Scale-out fabric extension", ExtScaleOut},
 		{"extswitch", "Switch-based scale-up topology", ExtSwitched},
 		{"extvalidate", "Simulator vs analytic bounds", ExtValidate},
+		{"extdegrade", "Fault injection & graceful degradation", ExtDegradation},
 	}
 }
 

@@ -83,3 +83,32 @@ func TestParallelDeterminismTraining(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultReplayDeterminism replays the fault-injection degradation
+// study at several worker counts and asserts byte-identical CSV output:
+// every probabilistic fault decision derives from the plan seed and a
+// per-link packet sequence number, never from execution order, so a
+// faulted sweep is as reproducible as a fault-free one.
+func TestFaultReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("degradation study is slow")
+	}
+	o := Quick()
+	o.Workers = 1
+	serialTables, err := ExtDegradation(o)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	want := tablesCSV(t, serialTables)
+	for _, w := range []int{2, runtime.NumCPU()} {
+		o.Workers = w
+		tables, err := ExtDegradation(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if got := tablesCSV(t, tables); got != want {
+			t.Errorf("CSV with %d workers differs from serial run\nserial:\n%s\nworkers=%d:\n%s",
+				w, want, w, got)
+		}
+	}
+}

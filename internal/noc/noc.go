@@ -15,6 +15,17 @@
 // All paper experiments use software routing: the system layer gives every
 // message its explicit link path (one ring link, or NPU->switch->NPU), so
 // the network needs no routing logic of its own.
+//
+// Links optionally carry fault state (SetLinkFaults, driven by the
+// internal/faults subsystem): bandwidth degradation windows and outage
+// windows consulted at serialization time, and a deterministic,
+// seed-derived packet-drop process. A dropped packet consumes its
+// serializer slot but is never forwarded; the owning message's OnDropped
+// callback fires exactly once so the system layer can retransmit, and the
+// bytes the lost packet would have carried over the rest of its path
+// accrue to a per-class shortfall ledger (DroppedPathBytesByClass) that
+// keeps the audit layer's byte conservation exact under loss. Fault-free
+// links pay only a nil check.
 package noc
 
 import (
@@ -38,6 +49,13 @@ type Message struct {
 	// OnDelivered fires (once) when the final packet reaches Dst. The
 	// endpoint (NMU) delay is charged by the system layer, not here.
 	OnDelivered func(*Message)
+	// OnDropped fires (once, at most) when fault injection drops one of
+	// the message's packets. A message that loses a packet can never
+	// deliver (packetsLeft never reaches zero), so exactly one of
+	// OnDelivered / OnDropped fires per message. The system layer's
+	// retransmit protocol hangs off this hook; it is nil — and costs
+	// nothing — outside fault runs.
+	OnDropped func(*Message)
 
 	// Injected is when Send was called.
 	Injected eventq.Time
@@ -50,6 +68,9 @@ type Message struct {
 
 	packetsLeft int
 	started     bool
+	// lost marks that a packet was dropped (OnDropped fired); further
+	// drops of the same message are not re-reported.
+	lost bool
 }
 
 // QueueDelay returns the cycles the message waited at its source before
@@ -96,6 +117,96 @@ func (n *Network) freePacket(p *packet) {
 	n.pktFree = append(n.pktFree, p)
 }
 
+// Window is a half-open interval [Start, End) of simulation cycles during
+// which a fault condition is active.
+type Window struct {
+	Start, End eventq.Time
+}
+
+// contains reports whether t falls inside the window.
+func (w Window) contains(t eventq.Time) bool { return t >= w.Start && t < w.End }
+
+// Degrade scales a link's effective bandwidth by Factor while its window
+// is active (0 < Factor < 1 derates; Factor > 1 boosts). Overlapping
+// windows multiply.
+type Degrade struct {
+	Window
+	Factor float64
+}
+
+// LinkFaults is the complete fault configuration for one link: bandwidth
+// degradation windows, outage windows during which the serializer is down,
+// and a per-packet drop probability. The zero value is fault-free.
+type LinkFaults struct {
+	Degrades []Degrade
+	Outages  []Window
+	// DropProb is the probability, decided deterministically per
+	// serialized packet from the fault seed, that the packet is corrupted
+	// in flight: it occupies the serializer and is counted by the link's
+	// byte/packet stats, but never reaches the next hop.
+	DropProb float64
+}
+
+// linkFault is the per-link fault state machine, consulted at
+// serialization time. Links without faults keep a nil pointer, so the
+// fault-free hot path pays exactly one predictable branch per packet.
+type linkFault struct {
+	LinkFaults
+	seed uint64
+	// wakeArmed dedups the deferred kick scheduled for the end of the
+	// outage window currently blocking this link.
+	wakeArmed bool
+}
+
+// degradeFactor returns the combined bandwidth multiplier active at now.
+func (f *linkFault) degradeFactor(now eventq.Time) float64 {
+	factor := 1.0
+	for _, d := range f.Degrades {
+		if d.contains(now) {
+			factor *= d.Factor
+		}
+	}
+	return factor
+}
+
+// outageUntil reports whether the link is down at now and, if so, when the
+// covering outage window ends.
+func (f *linkFault) outageUntil(now eventq.Time) (eventq.Time, bool) {
+	var until eventq.Time
+	down := false
+	for _, w := range f.Outages {
+		if w.contains(now) && w.End > until {
+			until, down = w.End, true
+		}
+	}
+	return until, down
+}
+
+// splitmix64 is the deterministic hash behind packet-drop decisions: a
+// stateless mix of (seed, link, packet sequence number) that reproduces
+// bit-identically for a given fault plan regardless of sweep parallelism.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// roll returns the uniform [0,1) drop roll for the packet about to retire
+// on l (identified by its serialized-packet sequence number).
+func (f *linkFault) roll(l *link) float64 {
+	x := splitmix64(f.seed ^ splitmix64(uint64(l.spec.ID))*0x9E3779B97F4A7C15 ^ l.stats.Packets)
+	return float64(x>>11) / (1 << 53)
+}
+
+// FaultStats aggregates fault-injection activity across the network.
+type FaultStats struct {
+	// DroppedPackets / DroppedBytes count packets discarded by drop
+	// injection (each occupied its serializer before being lost).
+	DroppedPackets uint64
+	DroppedBytes   int64
+}
+
 // LinkStats aggregates per-link activity counters.
 type LinkStats struct {
 	Packets    uint64
@@ -136,6 +247,9 @@ type link struct {
 	curSer eventq.Time
 	// waiters are upstream links stalled on this link's buffer space.
 	waiters []*link
+	// fault, when non-nil, is the link's fault-injection state machine
+	// (degradation, outages, drops); nil on every fault-free run.
+	fault *linkFault
 
 	stats LinkStats
 }
@@ -143,8 +257,14 @@ type link struct {
 // serCycles returns the serialization time for one packet, carrying the
 // fractional-cycle remainder across packets so a long packet stream moves
 // at exactly bandwidth x efficiency (no per-packet rounding inflation).
+// An active degradation window scales the rate for packets that start
+// serializing inside it.
 func (l *link) serCycles(bytes int64) eventq.Time {
-	exact := float64(bytes)/l.effBW + l.serCarry
+	bw := l.effBW
+	if f := l.fault; f != nil {
+		bw *= f.degradeFactor(l.net.eng.Now())
+	}
+	exact := float64(bytes)/bw + l.serCarry
 	c := eventq.Time(exact)
 	l.serCarry = exact - float64(c)
 	if c == 0 {
@@ -181,6 +301,13 @@ type Network struct {
 
 	// DeliveredMessages counts completed messages (for tests/stats).
 	DeliveredMessages uint64
+
+	// dropStats counts fault-injected packet losses; shortfallByClass
+	// accumulates, per link class, the bytes dropped packets would have
+	// carried across the path links they never reached — the exact
+	// correction term the audit layer applies to per-class conservation.
+	dropStats        FaultStats
+	shortfallByClass [int(topology.ScaleOutLink) + 1]int64
 }
 
 // poisonBytes is the sentinel stamped into freed packets in poison mode;
@@ -338,10 +465,21 @@ func linkArrive(a, b any) {
 	l.kick()
 }
 
-// kick starts serializing the head packet if the link is idle.
+// kick starts serializing the head packet if the link is idle. A link
+// inside an outage window does not start new serializations; the queue
+// holds and a deferred kick fires when the outage lifts.
 func (l *link) kick() {
 	if l.busy || l.blocked || len(l.queue) == 0 {
 		return
+	}
+	if f := l.fault; f != nil {
+		if until, down := f.outageUntil(l.net.eng.Now()); down {
+			if !f.wakeArmed {
+				f.wakeArmed = true
+				l.net.eng.CallAt(until, linkOutageLifted, l, nil)
+			}
+			return
+		}
 	}
 	p := l.queue[0]
 	if l.net.poison {
@@ -360,11 +498,48 @@ func (l *link) kick() {
 }
 
 // linkSerDone is the eventq.CallFunc that fires when link a finishes
-// serializing packet b.
+// serializing packet b. With drop injection active on the link, the
+// packet may be discarded here instead of forwarded: it consumed the
+// serializer (and is counted by the link's stats) but never reaches the
+// next hop — the corrupted-in-flight model.
 func linkSerDone(a, b any) {
 	l := a.(*link)
 	l.stats.BusyCycles += l.curSer
-	l.forward(b.(*packet))
+	p := b.(*packet)
+	if f := l.fault; f != nil && f.DropProb > 0 && f.roll(l) < f.DropProb {
+		l.net.dropPacket(l, p)
+		return
+	}
+	l.forward(p)
+}
+
+// linkOutageLifted is the eventq.CallFunc that restarts link a's
+// serializer when the outage window that stalled it ends.
+func linkOutageLifted(a, _ any) {
+	l := a.(*link)
+	l.fault.wakeArmed = false
+	l.kick()
+}
+
+// dropPacket discards a serialized packet: the drop link's counters keep
+// the bytes (they crossed its serializer), every downstream path link is
+// charged to the shortfall ledger, and the owning message is marked lost —
+// firing OnDropped exactly once so the system layer's retransmit protocol
+// can recover.
+func (n *Network) dropPacket(l *link, p *packet) {
+	msg := p.msg
+	n.dropStats.DroppedPackets++
+	n.dropStats.DroppedBytes += p.bytes
+	for _, id := range msg.Path[p.pathPos+1:] {
+		n.shortfallByClass[n.links[id].spec.Class] += p.bytes
+	}
+	l.finishHead(p)
+	if !msg.lost {
+		msg.lost = true
+		if msg.OnDropped != nil {
+			msg.OnDropped(msg)
+		}
+	}
 }
 
 // hopDelay is the post-serialization delay to the next stage: wire latency
@@ -462,12 +637,57 @@ func (n *Network) TotalBytesByClass() (intra, inter, scaleOut int64) {
 
 // ScaleLinkBandwidth derates (factor < 1) or boosts one link's effective
 // bandwidth — fault-injection and what-if hook for degraded-link studies.
-// Must be called before traffic that should observe it.
+// Must be called before traffic that should observe it. For time-windowed
+// degradation use SetLinkFaults instead.
 func (n *Network) ScaleLinkBandwidth(id topology.LinkID, factor float64) {
 	if factor <= 0 {
 		panic(fmt.Sprintf("noc: bandwidth scale must be positive, got %v", factor))
 	}
 	n.links[id].effBW *= factor
+}
+
+// SetLinkFaults installs (or, with a zero-value LinkFaults, clears) one
+// link's fault-injection state: degradation windows, outage windows, and
+// a drop probability whose per-packet decisions derive deterministically
+// from seed. Call before the traffic that should observe the faults.
+// Windows must be well-formed (Start < End), degrade factors positive,
+// and DropProb within [0, 1).
+func (n *Network) SetLinkFaults(id topology.LinkID, f LinkFaults, seed uint64) {
+	for _, d := range f.Degrades {
+		if d.Factor <= 0 {
+			panic(fmt.Sprintf("noc: degrade factor must be positive, got %v", d.Factor))
+		}
+		if d.Start >= d.End {
+			panic(fmt.Sprintf("noc: degrade window [%d,%d) is empty", d.Start, d.End))
+		}
+	}
+	for _, w := range f.Outages {
+		if w.Start >= w.End {
+			panic(fmt.Sprintf("noc: outage window [%d,%d) is empty", w.Start, w.End))
+		}
+	}
+	if f.DropProb < 0 || f.DropProb >= 1 {
+		panic(fmt.Sprintf("noc: drop probability must be in [0,1), got %v", f.DropProb))
+	}
+	if len(f.Degrades) == 0 && len(f.Outages) == 0 && f.DropProb == 0 {
+		n.links[id].fault = nil
+		return
+	}
+	n.links[id].fault = &linkFault{LinkFaults: f, seed: seed}
+}
+
+// DropStats reports the fault-injection loss totals for the whole run.
+func (n *Network) DropStats() FaultStats { return n.dropStats }
+
+// DroppedPathBytesByClass returns, per link class, the bytes that dropped
+// packets would have carried across the path links downstream of their
+// drop point. TotalBytesByClass plus these shortfalls equals the per-class
+// path bytes of all injected messages — the audit layer's fault-adjusted
+// conservation identity.
+func (n *Network) DroppedPathBytesByClass() (intra, inter, scaleOut int64) {
+	return n.shortfallByClass[topology.IntraPackage],
+		n.shortfallByClass[topology.InterPackage],
+		n.shortfallByClass[topology.ScaleOutLink]
 }
 
 // ClassUtilization summarizes one link class's activity over a window.

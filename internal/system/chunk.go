@@ -151,7 +151,7 @@ func (c *chunk) sendMsg(src, dst topology.Node, p, s int, size int64, channel in
 			c.sys.endpointReceive(dst, extra, func() { c.onReceive(dst, p, s) })
 		},
 	}
-	c.sys.inject(src, func() { c.sys.Net.Send(msg) })
+	c.sys.sendReliable(src, msg, c.coll)
 }
 
 // onReceive processes one delivered message at node n for step s of phase

@@ -13,6 +13,16 @@
 // paper's "one LSQ per dedicated link group" rule. The dispatcher issues P
 // new chunks from the ready queue whenever fewer than T chunks remain in
 // their first phase (§V-F: T=8, P=16).
+//
+// The system layer is also where lost traffic is recovered: with a
+// RetryPolicy set (SetRetryPolicy, driven by the internal/faults
+// subsystem), every message is sent reliably — a network-layer drop
+// schedules a retransmission after the policy's timeout, backing off
+// exponentially per attempt, re-entering through the same injection
+// throttle as first transmissions. Retransmitted goodput accrues to a
+// dedicated ledger (Retransmits, RetransmittedBytes, Handle.Retransmits)
+// so the audit layer's byte conservation stays exact under loss. With no
+// policy set the reliable path is a nil check.
 package system
 
 import (
@@ -55,6 +65,9 @@ type Handle struct {
 	// before its scheduled completion event fires and while DoneAt is
 	// still zero (making Duration underflow for any issue at t>0).
 	done bool
+	// retransmits counts this collective's messages recovered by the
+	// fault-injection retry protocol (always 0 on fault-free runs).
+	retransmits uint64
 
 	// Breakdown accumulators, indexed by phase (0 = ready queue).
 	queueSum []eventq.Time // queueSum[0] is the P0 ready-queue delay
@@ -111,6 +124,10 @@ func (h *Handle) ScheduledMessages() int64 {
 
 // Duration returns end-to-end collective latency.
 func (h *Handle) Duration() eventq.Time { return h.DoneAt - h.CreatedAt }
+
+// Retransmits reports how many of the collective's messages were lost to
+// fault injection and recovered by the retransmit protocol.
+func (h *Handle) Retransmits() uint64 { return h.retransmits }
 
 // AvgQueueDelay returns the average per-chunk queue delay at stage i
 // (the paper's "Queue P0..P4"): i=0 is the ready-queue wait before the
@@ -181,6 +198,15 @@ type System struct {
 	// Both cost one nil check on cold paths when disabled.
 	OnIssue func(*Handle)
 	OnP2P   func(src, dst topology.Node, bytes int64)
+	// retry, when non-nil, is the endpoint timeout -> retransmit-with-
+	// backoff protocol armed on every injected message; retransmits /
+	// retransmittedBytes are its ledger, kept separate from scheduled
+	// traffic so the audit layer's byte conservation stays exact under
+	// fault-injected packet loss. All nil (and cost-free) outside fault
+	// runs.
+	retry              *RetryPolicy
+	retransmits        uint64
+	retransmittedBytes int64
 	// injectors throttle per-node message injection under the Normal
 	// injection policy (Table III #15): at most one in-flight message
 	// per outgoing link; Aggressive injects without limit.
@@ -221,6 +247,100 @@ func (s *System) injectDone(node topology.Node) {
 		return
 	}
 	in.inFlight--
+}
+
+// RetryPolicy configures the recovery protocol for fault-injected packet
+// loss: when the network reports a message lost (a packet dropped in
+// flight), the sender's retransmission timer expires Timeout cycles
+// later — scaled by Backoff for each successive attempt of the same
+// message — and a fresh copy re-enters the source node's injection
+// throttle. A message still failing after MaxRetries retransmissions is
+// unrecoverable and panics, so a too-aggressive fault plan fails loudly
+// instead of silently never completing.
+type RetryPolicy struct {
+	// Timeout is the base retransmission timeout (RTO) in cycles.
+	Timeout eventq.Time
+	// Backoff multiplies the RTO per successive attempt (>= 1).
+	Backoff float64
+	// MaxRetries bounds retransmissions per message.
+	MaxRetries int
+}
+
+// rto returns the backoff-scaled timeout before retransmission attempt
+// number attempt (the first retransmission is attempt 1).
+func (p RetryPolicy) rto(attempt int) eventq.Time {
+	t := float64(p.Timeout)
+	for i := 1; i < attempt; i++ {
+		t *= p.Backoff
+	}
+	if t < 1 {
+		t = 1
+	}
+	return eventq.Time(t)
+}
+
+// SetRetryPolicy arms (or, with nil, disarms) the retransmit protocol for
+// every subsequently injected message. Must be set before the traffic it
+// should protect.
+func (s *System) SetRetryPolicy(p *RetryPolicy) {
+	if p != nil {
+		if p.Timeout == 0 {
+			panic("system: retry timeout must be positive")
+		}
+		if p.Backoff < 1 {
+			panic(fmt.Sprintf("system: retry backoff must be >= 1, got %v", p.Backoff))
+		}
+		if p.MaxRetries < 0 {
+			panic(fmt.Sprintf("system: retry MaxRetries must be >= 0, got %d", p.MaxRetries))
+		}
+	}
+	s.retry = p
+}
+
+// Retransmits reports how many messages were retransmitted by the
+// recovery protocol over the run.
+func (s *System) Retransmits() uint64 { return s.retransmits }
+
+// RetransmittedBytes reports the total bytes of retransmitted messages —
+// traffic the network carried beyond what the collective schedules and
+// point-to-point sends account for. The audit layer adds this ledger to
+// its conservation identity.
+func (s *System) RetransmittedBytes() int64 { return s.retransmittedBytes }
+
+// sendReliable injects msg from src through the injection throttle and,
+// when a retry policy is armed, wires the retransmit protocol onto it.
+// h, when non-nil, accrues the owning collective's retransmit count.
+func (s *System) sendReliable(src topology.Node, msg *noc.Message, h *Handle) {
+	if s.retry != nil {
+		s.armRetry(src, msg, h, 1)
+	}
+	s.inject(src, func() { s.Net.Send(msg) })
+}
+
+// armRetry attaches loss recovery to one attempt of a message. On loss,
+// the failed attempt's injection slot is released (its packets are gone;
+// nothing will call OnDelivered), and after the backoff-scaled RTO a
+// fresh copy — identical payload, same delivery continuation — re-enters
+// the injection throttle. Retransmitted bytes accrue to the separate
+// retransmit ledger so schedule-level conservation stays exact.
+func (s *System) armRetry(src topology.Node, msg *noc.Message, h *Handle, attempt int) {
+	msg.OnDropped = func(m *noc.Message) {
+		if attempt > s.retry.MaxRetries {
+			panic(fmt.Sprintf("system: message %d->%d (%d bytes) lost after %d attempts; raise RetryPolicy.MaxRetries or lower the drop rate",
+				m.Src, m.Dst, m.Bytes, attempt))
+		}
+		s.injectDone(src)
+		s.Eng.Schedule(s.retry.rto(attempt), func() {
+			clone := &noc.Message{Src: m.Src, Dst: m.Dst, Bytes: m.Bytes, Path: m.Path, OnDelivered: m.OnDelivered}
+			s.retransmits++
+			s.retransmittedBytes += m.Bytes
+			if h != nil {
+				h.retransmits++
+			}
+			s.armRetry(src, clone, h, attempt+1)
+			s.inject(src, func() { s.Net.Send(clone) })
+		})
+	}
 }
 
 // lsqKey identifies one logical scheduling queue.
@@ -524,7 +644,7 @@ func (s *System) SendPointToPoint(src, dst topology.Node, bytes int64, onDeliver
 			s.endpointReceive(dst, 0, onDelivered)
 		},
 	}
-	s.inject(src, func() { s.Net.Send(msg) })
+	s.sendReliable(src, msg, nil)
 	return nil
 }
 

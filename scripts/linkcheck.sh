@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# linkcheck.sh — verify that every relative markdown link and bare
+# file/dir reference in the repo's documentation points at something that
+# exists. External (http/https/mailto) links are skipped; this gate is
+# about keeping the docs honest against the tree they ship with.
+#
+# Usage: scripts/linkcheck.sh [file.md ...]   (defaults to the doc set)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+docs="${*:-README.md DESIGN.md EXPERIMENTS.md ROADMAP.md examples/README.md \
+examples/quickstart/README.md examples/resnet50/README.md \
+examples/transformer/README.md examples/dlrm/README.md \
+examples/scaleout/README.md examples/pipeline/README.md \
+examples/faults/README.md}"
+
+fail=0
+for doc in $docs; do
+    if [ ! -f "$doc" ]; then
+        echo "linkcheck: missing doc $doc" >&2
+        fail=1
+        continue
+    fi
+    dir=$(dirname "$doc")
+    # Markdown links: [text](target), minus external schemes and anchors.
+    links=$(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//' |
+        grep -v -e '^http' -e '^mailto:' -e '^#' || true)
+    for link in $links; do
+        target="$dir/${link%%#*}"
+        if [ ! -e "$target" ]; then
+            echo "linkcheck: $doc -> $link (missing $target)" >&2
+            fail=1
+        fi
+    done
+    # Backticked repo paths: `internal/foo`, `cmd/bar`, `examples/baz`,
+    # `scripts/x.sh`, `workloads/...` — the way these docs cite code.
+    refs=$(grep -o '`\(internal\|cmd\|examples\|scripts\|workloads\)/[A-Za-z0-9_./-]*`' "$doc" |
+        tr -d '`' || true)
+    for ref in $refs; do
+        if [ ! -e "$ref" ]; then
+            echo "linkcheck: $doc cites $ref which does not exist" >&2
+            fail=1
+        fi
+    done
+done
+if [ "$fail" -ne 0 ]; then
+    echo "linkcheck: FAILED" >&2
+    exit 1
+fi
+echo "linkcheck: ok"
