@@ -18,7 +18,8 @@
 // -size accepts a comma-separated list; the points run as independent
 // simulations fanned across -parallel worker goroutines (default: all
 // CPUs) and are reported in list order, so output is identical for any
-// worker count.
+// worker count. Every entry must be a positive size; a zero, negative,
+// overflowing, or empty entry is rejected naming the offending token.
 //
 // -audit attaches the invariant auditor (byte conservation, quiescence,
 // free-list poisoning) to each run, prints its report, and exits non-zero
@@ -27,11 +28,18 @@
 // -faults applies a JSON fault plan (degraded links, outages, stragglers,
 // packet drops with retransmit; see DESIGN.md §8) to each run and reports
 // the dropped-packet and retransmit counters alongside the usual stats.
+//
+// -oracle cross-checks each run against the closed-form cost model in
+// internal/oracle (DESIGN.md §9): single-chunk runs print the exact
+// predicted-vs-simulated delta, chunked runs print the prediction bounds.
+// Straggler faults are mirrored into the model; other fault classes are
+// outside its domain and are flagged.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -42,75 +50,134 @@ import (
 	"astrasim/internal/config"
 	"astrasim/internal/energy"
 	"astrasim/internal/faults"
+	"astrasim/internal/oracle"
 	"astrasim/internal/parallel"
 	"astrasim/internal/system"
 	"astrasim/internal/topology"
 )
 
-func main() {
-	opFlag := flag.String("op", "allreduce", "collective: reducescatter|allgather|allreduce|alltoall")
-	topoFlag := flag.String("topology", "4x4x4", "torus MxNxK (or N-D), or alltoall a2a:MxN")
-	sizeFlag := flag.String("size", "4MB", "collective set size(s), comma-separated (supports KB/MB/GB suffixes)")
-	algFlag := flag.String("algorithm", "baseline", "baseline or enhanced hierarchical algorithm")
-	policyFlag := flag.String("scheduling-policy", "LIFO", "LIFO or FIFO ready-queue order")
-	switches := flag.Int("switches", 2, "global switches (alltoall topology)")
-	localRings := flag.Int("local-rings", 2, "unidirectional local rings")
-	horizontalRings := flag.Int("horizontal-rings", 2, "bidirectional horizontal rings")
-	verticalRings := flag.Int("vertical-rings", 2, "bidirectional vertical rings")
-	splits := flag.Int("preferred-set-splits", config.DefaultSystem().PreferredSetSplits, "chunks per set")
-	symmetric := flag.Bool("symmetric", false, "make local links identical to inter-package links")
-	workers := flag.Int("parallel", runtime.NumCPU(), "worker goroutines when sweeping multiple sizes (1 = serial)")
-	auditFlag := flag.Bool("audit", false, "audit each run for invariant violations (byte conservation, quiescence)")
-	faultsFlag := flag.String("faults", "", "JSON fault plan applied to each run (see DESIGN.md §8)")
-	flag.Parse()
+// options is the fully parsed and validated command line; main only
+// builds one and runs it, so tests can drive parseArgs directly.
+type options struct {
+	op         collectives.Op
+	topoSpec   string
+	sizes      []int64
+	sizeTokens []string
+	algName    string
+	alg        config.Algorithm
+	policy     config.SchedulingPolicy
+	topoOpts   cli.TopologyOptions
+	splits     int
+	symmetric  bool
+	workers    int
+	audit      bool
+	oracle     bool
+	plan       *faults.Plan
+}
 
-	var plan *faults.Plan
+// parseArgs parses and validates the flag set. It never prints; every
+// rejection comes back as an error naming the offending input.
+func parseArgs(args []string) (*options, error) {
+	fs := flag.NewFlagSet("collectives", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	opFlag := fs.String("op", "allreduce", "collective: reducescatter|allgather|allreduce|alltoall")
+	topoFlag := fs.String("topology", "4x4x4", "torus MxNxK (or N-D), or alltoall a2a:MxN")
+	sizeFlag := fs.String("size", "4MB", "collective set size(s), comma-separated (supports KB/MB/GB suffixes)")
+	algFlag := fs.String("algorithm", "baseline", "baseline or enhanced hierarchical algorithm")
+	policyFlag := fs.String("scheduling-policy", "LIFO", "LIFO or FIFO ready-queue order")
+	switches := fs.Int("switches", 2, "global switches (alltoall topology)")
+	localRings := fs.Int("local-rings", 2, "unidirectional local rings")
+	horizontalRings := fs.Int("horizontal-rings", 2, "bidirectional horizontal rings")
+	verticalRings := fs.Int("vertical-rings", 2, "bidirectional vertical rings")
+	splits := fs.Int("preferred-set-splits", config.DefaultSystem().PreferredSetSplits, "chunks per set")
+	symmetric := fs.Bool("symmetric", false, "make local links identical to inter-package links")
+	workers := fs.Int("parallel", runtime.NumCPU(), "worker goroutines when sweeping multiple sizes (1 = serial)")
+	auditFlag := fs.Bool("audit", false, "audit each run for invariant violations (byte conservation, quiescence)")
+	oracleFlag := fs.Bool("oracle", false, "cross-check each run against the closed-form oracle (DESIGN.md §9)")
+	faultsFlag := fs.String("faults", "", "JSON fault plan applied to each run (see DESIGN.md §8)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	o := &options{
+		topoSpec: *topoFlag,
+		algName:  *algFlag,
+		topoOpts: cli.TopologyOptions{
+			LocalRings:      *localRings,
+			HorizontalRings: *horizontalRings,
+			VerticalRings:   *verticalRings,
+			GlobalSwitches:  *switches,
+		},
+		splits:    *splits,
+		symmetric: *symmetric,
+		workers:   *workers,
+		audit:     *auditFlag,
+		oracle:    *oracleFlag,
+	}
+	var err error
+	if o.op, err = collectives.ParseOp(strings.ToUpper(*opFlag)); err != nil {
+		return nil, err
+	}
+	if o.alg, err = config.ParseAlgorithm(*algFlag); err != nil {
+		return nil, err
+	}
+	if o.policy, err = config.ParseSchedulingPolicy(*policyFlag); err != nil {
+		return nil, err
+	}
+	if o.sizes, o.sizeTokens, err = cli.ParseSizeList(*sizeFlag); err != nil {
+		return nil, err
+	}
+	if o.splits < 1 {
+		return nil, fmt.Errorf("collectives: -preferred-set-splits must be >= 1, got %d", o.splits)
+	}
+	if o.workers < 1 {
+		return nil, fmt.Errorf("collectives: -parallel must be >= 1, got %d", o.workers)
+	}
 	if *faultsFlag != "" {
-		var err error
-		if plan, err = faults.Load(*faultsFlag); err != nil {
-			fatal(err)
+		if o.plan, err = faults.Load(*faultsFlag); err != nil {
+			return nil, err
 		}
 	}
+	return o, nil
+}
 
-	op, err := collectives.ParseOp(strings.ToUpper(*opFlag))
+func main() {
+	o, err := parseArgs(os.Args[1:])
 	if err != nil {
 		fatal(err)
-	}
-	alg, err := config.ParseAlgorithm(*algFlag)
-	if err != nil {
-		fatal(err)
-	}
-	policy, err := config.ParseSchedulingPolicy(*policyFlag)
-	if err != nil {
-		fatal(err)
-	}
-	sizeSpecs := strings.Split(*sizeFlag, ",")
-	sizes := make([]int64, len(sizeSpecs))
-	for i, spec := range sizeSpecs {
-		if sizes[i], err = cli.ParseSize(strings.TrimSpace(spec)); err != nil {
-			fatal(err)
-		}
 	}
 
 	cfg := config.DefaultSystem()
-	cfg.Algorithm = alg
-	cfg.SchedulingPolicy = policy
-	cfg.PreferredSetSplits = *splits
-	topo, err := cli.BuildTopology(*topoFlag, cli.TopologyOptions{
-		LocalRings:      *localRings,
-		HorizontalRings: *horizontalRings,
-		VerticalRings:   *verticalRings,
-		GlobalSwitches:  *switches,
-	}, &cfg)
+	cfg.Algorithm = o.alg
+	cfg.SchedulingPolicy = o.policy
+	cfg.PreferredSetSplits = o.splits
+	topo, err := cli.BuildTopology(o.topoSpec, o.topoOpts, &cfg)
 	if err != nil {
 		fatal(err)
 	}
 
 	net := config.DefaultNetwork()
-	if *symmetric {
+	if o.symmetric {
 		net.LocalLinkBandwidth = net.PackageLinkBandwidth
 		net.LocalLinkLatency = net.PackageLinkLatency
 		net.LocalPacketSize = net.PackagePacketSize
+	}
+
+	var model *oracle.Model
+	if o.oracle {
+		if model, err = oracle.NewModel(topo, cfg, net); err != nil {
+			fatal(fmt.Errorf("-oracle: %w", err))
+		}
+		if o.plan != nil {
+			for _, s := range o.plan.Stragglers {
+				if s.Node < topo.NumNPUs() {
+					model.SetNodeStragglerFactor(topology.Node(s.Node), s.Factor)
+				}
+			}
+			if len(o.plan.Degrades)+len(o.plan.Outages)+len(o.plan.Drops) > 0 {
+				fmt.Println("oracle: note: degraded-link/outage/drop faults are outside the model; expect divergence")
+			}
+		}
 	}
 
 	// Each size is an independent simulation (fresh engine/network per
@@ -121,28 +188,28 @@ func main() {
 		h    *system.Handle
 		rep  audit.Report
 	}
-	results, err := parallel.Map(parallel.New(*workers), len(sizes), func(i int) (result, error) {
+	results, err := parallel.Map(parallel.New(o.workers), len(o.sizes), func(i int) (result, error) {
 		inst, err := system.NewInstance(topo, cfg, net)
 		if err != nil {
 			return result{}, err
 		}
 		var aud *audit.Auditor
-		if *auditFlag {
+		if o.audit {
 			aud = audit.Attach(inst.Sys, inst.Net)
 		}
-		if plan != nil {
-			if err := faults.Apply(plan, inst); err != nil {
+		if o.plan != nil {
+			if err := faults.Apply(o.plan, inst); err != nil {
 				return result{}, err
 			}
 		}
 		done := false
-		h, err := inst.Sys.IssueCollective(op, sizes[i], op.String(), func(*system.Handle) { done = true })
+		h, err := inst.Sys.IssueCollective(o.op, o.sizes[i], o.op.String(), func(*system.Handle) { done = true })
 		if err != nil {
 			return result{}, err
 		}
 		inst.Eng.Run()
 		if !done {
-			return result{}, fmt.Errorf("collective of %d bytes did not complete", sizes[i])
+			return result{}, fmt.Errorf("collective of %d bytes did not complete", o.sizes[i])
 		}
 		r := result{inst: inst, h: h}
 		if aud != nil {
@@ -158,13 +225,16 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		printResult(op, strings.TrimSpace(sizeSpecs[i]), *algFlag, r.inst, r.h)
-		if plan != nil {
+		printResult(o.op, o.sizeTokens[i], o.algName, r.inst, r.h)
+		if o.plan != nil {
 			ds := r.inst.Net.DropStats()
 			fmt.Printf("faults: %d packets dropped (%d bytes), %d retransmits (%d goodput bytes resent)\n",
 				ds.DroppedPackets, ds.DroppedBytes, r.inst.Sys.Retransmits(), r.inst.Sys.RetransmittedBytes())
 		}
-		if *auditFlag {
+		if model != nil {
+			printOracle(model, o.op, o.sizes[i], r.h)
+		}
+		if o.audit {
 			fmt.Printf("audit: %s\n", r.rep)
 			violations += len(r.rep.Violations)
 		}
@@ -172,6 +242,33 @@ func main() {
 	if violations > 0 {
 		fatal(fmt.Errorf("%d invariant violations", violations))
 	}
+}
+
+// printOracle reports the closed-form prediction next to the simulated
+// duration: an exact delta in the single-chunk regime, the prediction
+// envelope otherwise.
+func printOracle(m *oracle.Model, op collectives.Op, bytes int64, h *system.Handle) {
+	simulated := h.Duration()
+	if pred, err := m.Predict(op, bytes); err == nil {
+		delta := int64(simulated) - int64(pred.Cycles)
+		status := "exact match"
+		if delta != 0 {
+			status = fmt.Sprintf("DELTA %+d cycles", delta)
+		}
+		fmt.Printf("oracle: predicted %d cycles, simulated %d — %s\n", pred.Cycles, simulated, status)
+		return
+	}
+	lower, upper, err := m.PredictBounds(op, bytes)
+	if err != nil {
+		fmt.Printf("oracle: not applicable: %v\n", err)
+		return
+	}
+	status := "within bounds"
+	if simulated < lower || simulated > upper {
+		status = "OUT OF BOUNDS"
+	}
+	fmt.Printf("oracle: predicted [%d, %d] cycles (chunked run), simulated %d — %s\n",
+		lower, upper, simulated, status)
 }
 
 // printResult reports one run: total time, traffic, energy, per-phase

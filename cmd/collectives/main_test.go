@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"astrasim/internal/collectives"
+	"astrasim/internal/config"
+)
+
+// writePlan drops a fault-plan file into a test temp dir and returns its
+// path.
+func writePlan(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseArgs(t *testing.T) {
+	validPlan := `{"seed": 1, "stragglers": [{"node": 0, "factor": 2}]}`
+	invalidPlan := `{"drops": [{"class": "all", "probability": 0.5}]}` // drops without retry
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the expected error ("" = success)
+		check   func(t *testing.T, o *options)
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			check: func(t *testing.T, o *options) {
+				if o.op != collectives.AllReduce || o.topoSpec != "4x4x4" || o.alg != config.Baseline {
+					t.Fatalf("defaults = %+v", o)
+				}
+				if len(o.sizes) != 1 || o.sizes[0] != 4<<20 {
+					t.Fatalf("default sizes = %v", o.sizes)
+				}
+				if o.audit || o.oracle || o.plan != nil {
+					t.Fatalf("audit/oracle/faults on by default: %+v", o)
+				}
+			},
+		},
+		{
+			name: "size list with suffixes and whitespace",
+			args: []string{"-size", "1KB, 2MB ,3GB"},
+			check: func(t *testing.T, o *options) {
+				want := []int64{1 << 10, 2 << 20, 3 << 30}
+				if len(o.sizes) != 3 {
+					t.Fatalf("sizes = %v", o.sizes)
+				}
+				for i, w := range want {
+					if o.sizes[i] != w {
+						t.Fatalf("sizes[%d] = %d, want %d", i, o.sizes[i], w)
+					}
+				}
+				if o.sizeTokens[1] != "2MB" {
+					t.Fatalf("tokens = %v, want trimmed", o.sizeTokens)
+				}
+			},
+		},
+		{name: "size zero entry", args: []string{"-size", "4MB,0,8MB"}, wantErr: `entry 2 ("0")`},
+		{name: "size negative entry", args: []string{"-size", "-7MB"}, wantErr: `"-7MB"`},
+		{name: "size empty entry", args: []string{"-size", "4MB,,8MB"}, wantErr: "entry 2 is empty"},
+		{name: "size overflow entry", args: []string{"-size", "99999999999GB"}, wantErr: "overflows int64"},
+		{name: "size garbage entry", args: []string{"-size", "4MB,banana"}, wantErr: `entry 2 ("banana")`},
+		{name: "bad op", args: []string{"-op", "gather"}, wantErr: "GATHER"},
+		{name: "bad algorithm", args: []string{"-algorithm", "quantum"}, wantErr: "quantum"},
+		{name: "bad scheduling policy", args: []string{"-scheduling-policy", "RANDOM"}, wantErr: "RANDOM"},
+		{name: "zero splits", args: []string{"-preferred-set-splits", "0"}, wantErr: "-preferred-set-splits"},
+		{name: "zero workers", args: []string{"-parallel", "0"}, wantErr: "-parallel"},
+		{name: "unknown flag", args: []string{"-frobnicate"}, wantErr: "frobnicate"},
+		{
+			name: "audit and oracle flags",
+			args: []string{"-audit", "-oracle", "-preferred-set-splits", "1"},
+			check: func(t *testing.T, o *options) {
+				if !o.audit || !o.oracle {
+					t.Fatalf("audit=%v oracle=%v, want both true", o.audit, o.oracle)
+				}
+				if o.splits != 1 {
+					t.Fatalf("splits = %d", o.splits)
+				}
+			},
+		},
+		{name: "faults file missing", args: []string{"-faults", "/nonexistent/plan.json"}, wantErr: "plan.json"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := parseArgs(tc.args)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parseArgs(%v) err = %v, want substring %q", tc.args, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseArgs(%v): %v", tc.args, err)
+			}
+			if tc.check != nil {
+				tc.check(t, o)
+			}
+		})
+	}
+
+	t.Run("valid faults plan", func(t *testing.T) {
+		o, err := parseArgs([]string{"-faults", writePlan(t, validPlan)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.plan == nil || len(o.plan.Stragglers) != 1 || o.plan.Seed != 1 {
+			t.Fatalf("plan = %+v", o.plan)
+		}
+	})
+	t.Run("invalid faults plan", func(t *testing.T) {
+		if _, err := parseArgs([]string{"-faults", writePlan(t, invalidPlan)}); err == nil ||
+			!strings.Contains(err.Error(), "retry") {
+			t.Fatalf("err = %v, want drops-require-retry rejection", err)
+		}
+	})
+	t.Run("faults with audit and oracle", func(t *testing.T) {
+		o, err := parseArgs([]string{"-faults", writePlan(t, validPlan), "-audit", "-oracle"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.plan == nil || !o.audit || !o.oracle {
+			t.Fatalf("combined flags = %+v", o)
+		}
+	})
+}

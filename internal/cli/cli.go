@@ -6,6 +6,7 @@ package cli
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -13,7 +14,9 @@ import (
 	"astrasim/internal/topology"
 )
 
-// ParseSize parses "64MB"-style sizes (B/KB/MB/GB binary suffixes).
+// ParseSize parses "64MB"-style sizes (B/KB/MB/GB binary suffixes). The
+// result is always positive: zero, negative, and int64-overflowing sizes
+// are errors, never wrapped values.
 func ParseSize(s string) (int64, error) {
 	mult := int64(1)
 	up := strings.ToUpper(strings.TrimSpace(s))
@@ -31,7 +34,32 @@ func ParseSize(s string) (int64, error) {
 	if err != nil || v <= 0 {
 		return 0, fmt.Errorf("cli: bad size %q", s)
 	}
+	if v > math.MaxInt64/mult {
+		return 0, fmt.Errorf("cli: size %q overflows int64", s)
+	}
 	return v * mult, nil
+}
+
+// ParseSizeList parses a comma-separated list of ParseSize entries,
+// returning the parsed sizes and the trimmed source tokens in list order.
+// Empty entries and invalid sizes are errors naming the offending token
+// and its 1-based position.
+func ParseSizeList(s string) ([]int64, []string, error) {
+	specs := strings.Split(s, ",")
+	sizes := make([]int64, len(specs))
+	tokens := make([]string, len(specs))
+	for i, spec := range specs {
+		tok := strings.TrimSpace(spec)
+		if tok == "" {
+			return nil, nil, fmt.Errorf("cli: size list %q: entry %d is empty", s, i+1)
+		}
+		v, err := ParseSize(tok)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cli: size list entry %d (%q): %w", i+1, tok, err)
+		}
+		sizes[i], tokens[i] = v, tok
+	}
+	return sizes, tokens, nil
 }
 
 // ParseDims splits a "2x4x4"-style list of positive dimensions.

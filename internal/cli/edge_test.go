@@ -1,0 +1,131 @@
+package cli
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"astrasim/internal/config"
+)
+
+// Edge cases of the flag parsers: whitespace, emptiness, overflow
+// boundaries, and degenerate topology shapes.
+
+func TestParseSizeEdgeCases(t *testing.T) {
+	// Largest representable sizes per suffix must parse exactly; one
+	// notch higher must be rejected, not wrapped.
+	ok := map[string]int64{
+		"9223372036854775807":  math.MaxInt64,
+		"9223372036854775807B": math.MaxInt64,
+		"9007199254740991KB":   (math.MaxInt64 / (1 << 10)) << 10,
+		"8796093022207MB":      (math.MaxInt64 / (1 << 20)) << 20,
+		"8589934591GB":         (math.MaxInt64 / (1 << 30)) << 30,
+	}
+	for in, want := range ok {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	bad := []string{
+		"", "   ", "KB", "MB", "B",
+		"0", "0B", "0KB", "-1", "-4MB",
+		"1.5MB", "4 M B", "+ 2KB", "1e6",
+		"9223372036854775808",  // MaxInt64 + 1
+		"9007199254740992KB",   // overflows via the KB multiplier
+		"8796093022208MB",      // overflows via the MB multiplier
+		"8589934592GB",         // overflows via the GB multiplier
+		"99999999999999999999", // does not fit int64 at all
+	}
+	for _, in := range bad {
+		if v, err := ParseSize(in); err == nil {
+			t.Fatalf("ParseSize(%q) = %d, want error", in, v)
+		}
+	}
+}
+
+func TestParseSizeListEdgeCases(t *testing.T) {
+	sizes, tokens, err := ParseSizeList(" 1KB ,2MB,  3GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 3 || sizes[0] != 1<<10 || sizes[1] != 2<<20 || sizes[2] != 3<<30 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if tokens[0] != "1KB" || tokens[2] != "3GB" {
+		t.Fatalf("tokens = %v, want trimmed", tokens)
+	}
+
+	for in, wantSub := range map[string]string{
+		"":             "entry 1 is empty",
+		"   ":          "entry 1 is empty",
+		",4MB":         "entry 1 is empty",
+		"4MB,":         "entry 2 is empty",
+		"4MB, ,8MB":    "entry 2 is empty",
+		"4MB,0,8MB":    `entry 2 ("0")`,
+		"4MB,-2KB":     `entry 2 ("-2KB")`,
+		"1KB,2QB":      `entry 2 ("2QB")`,
+		"8589934592GB": "overflows",
+	} {
+		if _, _, err := ParseSizeList(in); err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("ParseSizeList(%q) err = %v, want substring %q", in, err, wantSub)
+		}
+	}
+}
+
+func TestParseDimsEdgeCases(t *testing.T) {
+	for _, in := range []string{"", "x", "4x", "x4", "2x 2", " 2x2", "2x2 ", "2xx2", "1x-1", "1x0", "axb"} {
+		if dims, err := ParseDims(in); err == nil {
+			t.Fatalf("ParseDims(%q) = %v, want error", in, dims)
+		}
+	}
+	dims, err := ParseDims("02x2")
+	if err != nil || len(dims) != 2 || dims[0] != 2 {
+		t.Fatalf("ParseDims(\"02x2\") = %v, %v", dims, err)
+	}
+}
+
+func TestBuildTopologyDegenerateShapes(t *testing.T) {
+	build := func(spec string) (int, error) {
+		cfg := config.DefaultSystem()
+		topo, err := BuildTopology(spec, DefaultTopologyOptions(), &cfg)
+		if err != nil {
+			return 0, err
+		}
+		return topo.NumNPUs(), nil
+	}
+
+	// Single-node and single-active-dimension shapes must build.
+	for spec, want := range map[string]int{
+		"1x1x1":      1,
+		"1x1":        1,
+		"1x8x1":      8,
+		"8x1x1":      8,
+		"1x8":        8,
+		"1x2x1x1x1":  2,
+		"a2a:1x1":    1,
+		"sw:1x2":     2,
+		"so:1x2x1/2": 4,
+	} {
+		got, err := build(spec)
+		if err != nil {
+			t.Fatalf("BuildTopology(%q): %v", spec, err)
+		}
+		if got != want {
+			t.Fatalf("BuildTopology(%q) = %d NPUs, want %d", spec, got, want)
+		}
+	}
+
+	// Malformed or explicitly rejected shapes.
+	for _, spec := range []string{
+		"", "8", "x", "4x0x4", "-2x2x2",
+		"a2a:", "a2a:8", "a2a:2x2x2",
+		"sw:", "sw:4", "sw:2x2x2",
+		"so:2x2x1", "so:2x2/2", "so:2x2x1/1", "so:2x2x1/0", "so:2x2x1/x",
+		" 4x4x4", "4x4x4 ",
+	} {
+		if n, err := build(spec); err == nil {
+			t.Fatalf("BuildTopology(%q) built %d NPUs, want error", spec, n)
+		}
+	}
+}

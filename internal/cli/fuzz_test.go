@@ -1,0 +1,98 @@
+package cli_test
+
+// Fuzz coverage for the user-facing parsers: whatever bytes arrive on the
+// command line, the parsers must never panic, never return a non-positive
+// or overflowed size, and never build a topology that disagrees with its
+// own spec. Seed corpora live under testdata/fuzz and run as ordinary
+// tests; CI additionally runs each target under a short -fuzz budget.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"astrasim/internal/cli"
+	"astrasim/internal/config"
+)
+
+// maxFuzzNPUs bounds the topologies the fuzzer is allowed to construct,
+// so exploration stays in parse logic rather than allocating giant node
+// arrays.
+const maxFuzzNPUs = 1 << 14
+
+// specIsCheap reports whether every integer in a topology spec is small
+// enough that building it is safe under the fuzzer.
+func specIsCheap(spec string) bool {
+	product := 1
+	for _, run := range strings.FieldsFunc(spec, func(r rune) bool { return r < '0' || r > '9' }) {
+		v, err := strconv.Atoi(run)
+		if err != nil || v > maxFuzzNPUs {
+			return false
+		}
+		if v > 0 {
+			product *= v
+			if product > maxFuzzNPUs {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func FuzzParseConfig(f *testing.F) {
+	f.Add("4MB", "4x4x4")
+	f.Add("1kb, 2mb ,3gb", "2x2x2x2")
+	f.Add("0", "a2a:2x4")
+	f.Add("-7MB", "sw:4x2")
+	f.Add("9223372036854775807B", "so:2x2x1/2")
+	f.Add("10000000000GB", "1x8")
+	f.Add("", "8")
+	f.Add("4MB,,8MB", "0x4")
+	f.Add("64", "2x-3")
+	f.Add(" 12 KB ", "a2a:1x1")
+	f.Fuzz(func(t *testing.T, sizeSpec, topoSpec string) {
+		if v, err := cli.ParseSize(sizeSpec); err == nil {
+			if v <= 0 {
+				t.Fatalf("ParseSize(%q) = %d, accepted a non-positive size", sizeSpec, v)
+			}
+		}
+		if sizes, tokens, err := cli.ParseSizeList(sizeSpec); err == nil {
+			if len(sizes) != len(tokens) || len(sizes) == 0 {
+				t.Fatalf("ParseSizeList(%q): %d sizes for %d tokens", sizeSpec, len(sizes), len(tokens))
+			}
+			for i, v := range sizes {
+				if v <= 0 {
+					t.Fatalf("ParseSizeList(%q): entry %d = %d", sizeSpec, i+1, v)
+				}
+				if tokens[i] != strings.TrimSpace(tokens[i]) || tokens[i] == "" {
+					t.Fatalf("ParseSizeList(%q): token %d = %q not trimmed", sizeSpec, i+1, tokens[i])
+				}
+			}
+		}
+		if dims, err := cli.ParseDims(topoSpec); err == nil {
+			for _, d := range dims {
+				if d <= 0 {
+					t.Fatalf("ParseDims(%q) accepted dimension %d", topoSpec, d)
+				}
+			}
+		}
+		if !specIsCheap(topoSpec) {
+			return
+		}
+		cfg := config.DefaultSystem()
+		topo, err := cli.BuildTopology(topoSpec, cli.DefaultTopologyOptions(), &cfg)
+		if err != nil {
+			return
+		}
+		if n := topo.NumNPUs(); n < 1 {
+			t.Fatalf("BuildTopology(%q): %d NPUs", topoSpec, n)
+		}
+		if topo.Name() == "" {
+			t.Fatalf("BuildTopology(%q): empty name", topoSpec)
+		}
+		if cfg.LocalSize < 1 || cfg.HorizontalSize < 1 || cfg.VerticalSize < 1 {
+			t.Fatalf("BuildTopology(%q): config sizes %dx%dx%d not normalized",
+				topoSpec, cfg.LocalSize, cfg.HorizontalSize, cfg.VerticalSize)
+		}
+	})
+}

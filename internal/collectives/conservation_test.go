@@ -21,6 +21,7 @@ import (
 	"astrasim/internal/cli"
 	"astrasim/internal/collectives"
 	"astrasim/internal/config"
+	"astrasim/internal/oracle"
 	"astrasim/internal/system"
 )
 
@@ -139,6 +140,141 @@ func TestUntimedExecutorAgreesAcrossConfigs(t *testing.T) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// Differential verification against the closed-form oracle: for every
+// op x topology x algorithm x size in the corpus, the analytical model of
+// internal/oracle must predict the simulated end-to-end completion
+// cycles EXACTLY — zero tolerance — in the uncongested single-chunk
+// regime. The two numbers come from fully independent code paths (the
+// event-driven system/noc layers vs. the oracle's arithmetic
+// recurrence), so any drift in either one fails here.
+func TestOracleExactAcrossConfigs(t *testing.T) {
+	ops := []collectives.Op{
+		collectives.ReduceScatter, collectives.AllGather,
+		collectives.AllReduce, collectives.AllToAll,
+	}
+	sizes := []int64{4096, 1 << 20}
+	configs := 0
+	for _, spec := range conservationTopos {
+		for _, alg := range []config.Algorithm{config.Baseline, config.Enhanced} {
+			cfg := config.DefaultSystem()
+			cfg.Algorithm = alg
+			cfg.PreferredSetSplits = 1 // single-chunk regime
+			topo, err := cli.BuildTopology(spec, cli.DefaultTopologyOptions(), &cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, op := range ops {
+				for _, setBytes := range sizes {
+					configs++
+					t.Run(fmt.Sprintf("%s/%v/%v/%d", spec, alg, op, setBytes), func(t *testing.T) {
+						net := config.DefaultNetwork()
+						inst, err := system.NewInstance(topo, cfg, net)
+						if err != nil {
+							t.Fatal(err)
+						}
+						aud := audit.Attach(inst.Sys, inst.Net)
+						h, err := inst.Sys.IssueCollective(op, setBytes, op.String(), nil)
+						if err != nil {
+							t.Fatal(err)
+						}
+						inst.Eng.Run()
+						if !h.Done() {
+							t.Fatal("collective did not complete")
+						}
+						if err := aud.Report().Err(); err != nil {
+							t.Fatal(err)
+						}
+
+						m, err := oracle.NewModel(topo, cfg, net)
+						if err != nil {
+							t.Fatal(err)
+						}
+						pred, err := m.Predict(op, setBytes)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if pred.Cycles != h.Duration() {
+							t.Fatalf("oracle predicted %d cycles, simulator ran %d (delta %d)",
+								pred.Cycles, h.Duration(), int64(pred.Cycles)-int64(h.Duration()))
+						}
+						if len(pred.Phases) != h.NumPhases() {
+							t.Fatalf("oracle compiled %d phases, simulator %d", len(pred.Phases), h.NumPhases())
+						}
+						if h.NumPhases() > 0 {
+							if len(pred.PhaseEnds) != h.NumPhases() {
+								t.Fatalf("oracle reported %d phase ends for %d phases", len(pred.PhaseEnds), h.NumPhases())
+							}
+							if last := pred.PhaseEnds[len(pred.PhaseEnds)-1]; last != pred.Cycles {
+								t.Fatalf("last phase end %d != completion %d", last, pred.Cycles)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+	// The acceptance bar for this corpus: at least 70 distinct configs.
+	if configs < 70 {
+		t.Fatalf("oracle corpus covers only %d configs, want >= 70", configs)
+	}
+}
+
+// With dispatcher concurrency enabled (the default 64-way set split),
+// exact prediction is out of scope, but the oracle's documented bound
+// must hold: the simulated completion lies within [largest solo-chunk
+// prediction, sum of solo-chunk predictions].
+func TestOracleBoundsWithDispatcherConcurrency(t *testing.T) {
+	ops := []collectives.Op{
+		collectives.ReduceScatter, collectives.AllGather,
+		collectives.AllReduce, collectives.AllToAll,
+	}
+	const setBytes = 1 << 20
+	for _, spec := range conservationTopos {
+		for _, alg := range []config.Algorithm{config.Baseline, config.Enhanced} {
+			cfg := config.DefaultSystem()
+			cfg.Algorithm = alg
+			topo, err := cli.BuildTopology(spec, cli.DefaultTopologyOptions(), &cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, op := range ops {
+				t.Run(fmt.Sprintf("%s/%v/%v", spec, alg, op), func(t *testing.T) {
+					net := config.DefaultNetwork()
+					inst, err := system.NewInstance(topo, cfg, net)
+					if err != nil {
+						t.Fatal(err)
+					}
+					h, err := inst.Sys.IssueCollective(op, setBytes, op.String(), nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					inst.Eng.Run()
+					if !h.Done() {
+						t.Fatal("collective did not complete")
+					}
+					m, err := oracle.NewModel(topo, cfg, net)
+					if err != nil {
+						t.Fatal(err)
+					}
+					lower, upper, err := m.PredictBounds(op, setBytes)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if h.NumPhases() == 0 {
+						return
+					}
+					if lower == 0 || upper < lower {
+						t.Fatalf("degenerate bounds [%d, %d]", lower, upper)
+					}
+					if d := h.Duration(); d < lower || d > upper {
+						t.Fatalf("simulated %d cycles outside oracle bounds [%d, %d]", d, lower, upper)
+					}
+				})
+			}
 		}
 	}
 }

@@ -1,0 +1,163 @@
+package collectives_test
+
+// Fuzz coverage for the phase compiler: any bounded op x topology x
+// algorithm point must compile to a schedule whose phases are internally
+// consistent (positive sizes, positive finite scales, min-1-byte step
+// messages), whose data semantics are correct when executed by the
+// untimed reference executor, and whose all-to-all routing lands every
+// block on its destination. Seed corpora live under testdata/fuzz.
+
+import (
+	"math"
+	"testing"
+
+	"astrasim/internal/collectives"
+	"astrasim/internal/config"
+	"astrasim/internal/topology"
+)
+
+func FuzzCollectiveSchedule(f *testing.F) {
+	f.Add(uint8(4), uint8(4), uint8(4), uint8(2), false, false)
+	f.Add(uint8(2), uint8(2), uint8(2), uint8(2), true, false)
+	f.Add(uint8(1), uint8(8), uint8(1), uint8(0), false, false)
+	f.Add(uint8(2), uint8(3), uint8(1), uint8(1), true, false)
+	f.Add(uint8(2), uint8(4), uint8(0), uint8(3), false, true)
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(2), true, false)
+	f.Add(uint8(3), uint8(3), uint8(3), uint8(3), true, true)
+	f.Fuzz(func(t *testing.T, b0, b1, b2, opByte uint8, enhanced, a2a bool) {
+		// Clamp every dimension to [1, 4]: large enough to hit rings,
+		// direct groups, and degenerate 1-wide dimensions; small enough
+		// that each exec builds at most 64 nodes.
+		d0, d1, d2 := 1+int(b0)%4, 1+int(b1)%4, 1+int(b2)%4
+		ops := []collectives.Op{
+			collectives.ReduceScatter, collectives.AllGather,
+			collectives.AllReduce, collectives.AllToAll,
+		}
+		op := ops[int(opByte)%len(ops)]
+		alg := config.Baseline
+		if enhanced {
+			alg = config.Enhanced
+		}
+
+		var topo topology.Topology
+		var err error
+		if a2a {
+			topo, err = topology.NewA2A(d0, d1, topology.A2AConfig{LocalRings: 2, GlobalSwitches: 1 + d2})
+		} else {
+			topo, err = topology.NewTorus(d0, d1, d2, topology.TorusConfig{
+				LocalRings: 2, HorizontalRings: 2, VerticalRings: 2})
+		}
+		if err != nil {
+			t.Fatalf("building %dx%dx%d (a2a=%v): %v", d0, d1, d2, a2a, err)
+		}
+
+		phases, err := collectives.Compile(op, topo, alg)
+		if err != nil {
+			t.Fatalf("%v on %s (%v): %v", op, topo.Name(), alg, err)
+		}
+		n := topo.NumNPUs()
+		for pi, p := range phases {
+			if p.Size < 1 || p.Size > n {
+				t.Fatalf("phase %d size %d outside [1, %d]", pi, p.Size, n)
+			}
+			if !(p.Scale > 0) || math.IsInf(p.Scale, 0) {
+				t.Fatalf("phase %d scale %v not positive finite", pi, p.Scale)
+			}
+			if p.NumSteps() < 0 {
+				t.Fatalf("phase %d: %d steps", pi, p.NumSteps())
+			}
+			for s := 0; s < p.NumSteps(); s++ {
+				for _, bytes := range []int64{1, 4096} {
+					if got := p.StepBytes(s, bytes); got < 1 {
+						t.Fatalf("phase %d step %d: %d-byte message for %d input bytes", pi, s, got, bytes)
+					}
+				}
+			}
+		}
+
+		// Semantic checks via the untimed reference executor. L is
+		// divisible by every group size any phase can use (group sizes
+		// divide n), so reduce-scatter block math is always exact.
+		L := n * 4
+		initial := make([][]float64, n)
+		wantSum := make([]float64, L)
+		for i := range initial {
+			initial[i] = make([]float64, L)
+			for j := range initial[i] {
+				initial[i][j] = float64(i*131 + j)
+				wantSum[j] += initial[i][j]
+			}
+		}
+		switch op {
+		case collectives.AllReduce:
+			states, err := collectives.ExecuteData(phases, topo, initial)
+			if err != nil {
+				t.Fatalf("%s (%v): %v", topo.Name(), alg, err)
+			}
+			for i, s := range states {
+				if s.Lo != 0 || s.Hi != L {
+					t.Fatalf("node %d range [%d,%d), want [0,%d)", i, s.Lo, s.Hi, L)
+				}
+				for j, v := range s.Vals {
+					if v != wantSum[j] {
+						t.Fatalf("node %d elem %d = %v, want %v", i, j, v, wantSum[j])
+					}
+				}
+			}
+		case collectives.ReduceScatter:
+			states, err := collectives.ExecuteData(phases, topo, initial)
+			if err != nil {
+				t.Fatalf("%s (%v): %v", topo.Name(), alg, err)
+			}
+			covered := make([]int, L)
+			for i, s := range states {
+				for j := s.Lo; j < s.Hi; j++ {
+					covered[j]++
+					if s.Vals[j-s.Lo] != wantSum[j] {
+						t.Fatalf("node %d elem %d = %v, want %v", i, j, s.Vals[j-s.Lo], wantSum[j])
+					}
+				}
+			}
+			for j, c := range covered {
+				if c != 1 {
+					t.Fatalf("element %d covered %d times, want exactly once", j, c)
+				}
+			}
+		case collectives.AllGather:
+			// All-gather starts from scattered state; run it as the
+			// second half of the reduce-scatter/all-gather composition,
+			// which must equal an all-reduce.
+			rs, err := collectives.Compile(collectives.ReduceScatter, topo, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			composed := append(append([]collectives.Phase{}, rs...), phases...)
+			states, err := collectives.ExecuteData(composed, topo, initial)
+			if err != nil {
+				t.Fatalf("%s (%v): %v", topo.Name(), alg, err)
+			}
+			for i, s := range states {
+				if s.Lo != 0 || s.Hi != L {
+					t.Fatalf("node %d range [%d,%d), want [0,%d)", i, s.Lo, s.Hi, L)
+				}
+				for j, v := range s.Vals {
+					if v != wantSum[j] {
+						t.Fatalf("node %d elem %d = %v, want %v", i, j, v, wantSum[j])
+					}
+				}
+			}
+		case collectives.AllToAll:
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					hops := collectives.RouteAllToAll(phases, topo, topology.Node(src), topology.Node(dst))
+					if len(hops) != len(phases) {
+						t.Fatalf("route %d->%d: %d hops for %d phases", src, dst, len(hops), len(phases))
+					}
+					if len(hops) > 0 && hops[len(hops)-1] != topology.Node(dst) {
+						t.Fatalf("route %d->%d ends at %d", src, dst, hops[len(hops)-1])
+					}
+				}
+			}
+		}
+	})
+}

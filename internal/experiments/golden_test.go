@@ -1,0 +1,103 @@
+package experiments
+
+// Golden-file regression tests: every figure of the paper (Figs 9-18) and
+// every extension study is pinned byte-for-byte at Quick scale. Any change
+// to simulator timing, message-size algebra, scheduling, energy constants,
+// or table formatting shows up as a golden diff — intentional changes are
+// re-recorded with
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// and the resulting testdata/golden/ diff is reviewed like any other code.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// renderGolden formats one figure's tables as a single deterministic
+// document: a header line per table, then its CSV.
+func renderGolden(fig Figure, o Options) ([]byte, error) {
+	tables, err := fig.Run(o)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		fmt.Fprintf(&buf, "# %s: %s\n", tb.ID, tb.Title)
+		if err := tb.WriteCSV(&buf); err != nil {
+			return nil, err
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
+func TestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regeneration re-runs every figure")
+	}
+	figures := append(Figures(), Extensions()...)
+	for _, fig := range figures {
+		fig := fig
+		t.Run(fig.ID, func(t *testing.T) {
+			t.Parallel()
+			o := Quick()
+			o.Workers = runtime.NumCPU()
+			got, err := renderGolden(fig, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", fig.ID+".csv")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s diverged from its golden file %s\n--- got ---\n%s\n--- want ---\n%s\n(rerun with -update if the change is intentional)",
+					fig.ID, path, got, want)
+			}
+		})
+	}
+}
+
+// The goldens themselves must be reproducible: a second run with a
+// different worker count must render byte-identical documents. This
+// guards the -update path against recording a nondeterministic table.
+func TestGoldenRenderIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden determinism re-runs figures")
+	}
+	fig := Figures()[0] // fig09 exercises the full collective sweep path
+	serial := Quick()
+	serial.Workers = 1
+	a, err := renderGolden(fig, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanned := Quick()
+	fanned.Workers = 4
+	b, err := renderGolden(fig, fanned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("%s renders differently at 1 vs 4 workers", fig.ID)
+	}
+}

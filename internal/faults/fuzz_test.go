@@ -1,0 +1,71 @@
+package faults_test
+
+// Fuzz coverage for the fault-plan pipeline: any byte stream fed to the
+// JSON parser either fails loudly or yields a plan that (a) passes its
+// own validator, (b) survives a marshal/parse round trip, and (c) applies
+// cleanly to a live instance — out-of-range selectors must be ignored,
+// never panic. Seed corpora live under testdata/fuzz.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"astrasim/internal/cli"
+	"astrasim/internal/config"
+	"astrasim/internal/faults"
+	"astrasim/internal/system"
+)
+
+func FuzzParseFaultPlan(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seed": 7, "stragglers": [{"node": 0, "factor": 2.5}]}`))
+	f.Add([]byte(`{"degraded_links": [{"class": "inter", "start": 100, "end": 5000, "bandwidth_factor": 0.25}]}`))
+	f.Add([]byte(`{"outages": [{"links": [0, 3], "start": 0, "end": 1000}]}`))
+	f.Add([]byte(`{"drops": [{"class": "all", "probability": 0.01}], "retry": {"timeout": 5000, "backoff": 2, "max_retries": 4}}`))
+	f.Add([]byte(`{"drops": [{"class": "all", "probability": 0.5}]}`))                   // drops without retry: must be rejected
+	f.Add([]byte(`{"stragglers": [{"node": -1, "factor": 2}]}`))                         // negative node: must be rejected
+	f.Add([]byte(`{"retry": {"timeout": 0, "backoff": 1, "max_retries": 0}}`))           // zero timeout: must be rejected
+	f.Add([]byte(`{"degraded_links": [{"start": 5, "end": 5, "bandwidth_factor": 1}]}`)) // empty window: must be rejected
+	f.Add([]byte(`{"typo_field": true}`))                                                // unknown field: must be rejected
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := faults.Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse accepted a plan its own validator rejects: %v", err)
+		}
+		encoded, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("parsed plan does not re-marshal: %v", err)
+		}
+		again, err := faults.Parse(bytes.NewReader(encoded))
+		if err != nil {
+			t.Fatalf("round-tripped plan does not re-parse: %v\nplan: %s", err, encoded)
+		}
+		if again.Seed != p.Seed || len(again.Degrades) != len(p.Degrades) ||
+			len(again.Outages) != len(p.Outages) || len(again.Stragglers) != len(p.Stragglers) ||
+			len(again.Drops) != len(p.Drops) || (again.Retry == nil) != (p.Retry == nil) {
+			t.Fatalf("round trip changed the plan:\n  before: %+v\n  after:  %+v", p, again)
+		}
+		// Applying a valid plan to a live instance must always succeed:
+		// selectors outside the topology are ignored by contract.
+		if len(p.Degrades)+len(p.Outages)+len(p.Stragglers)+len(p.Drops) > 64 {
+			return // keep per-exec work bounded
+		}
+		cfg := config.DefaultSystem()
+		topo, err := cli.BuildTopology("1x2x1", cli.DefaultTopologyOptions(), &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := system.NewInstance(topo, cfg, config.DefaultNetwork())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := faults.Apply(p, inst); err != nil {
+			t.Fatalf("valid plan failed to apply: %v\nplan: %s", err, encoded)
+		}
+	})
+}

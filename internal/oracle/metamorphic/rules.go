@@ -1,0 +1,292 @@
+package metamorphic
+
+import (
+	"fmt"
+
+	"astrasim/internal/cli"
+	"astrasim/internal/collectives"
+	"astrasim/internal/config"
+	"astrasim/internal/faults"
+	"astrasim/internal/oracle"
+	"astrasim/internal/system"
+	"astrasim/internal/topology"
+)
+
+// Rules returns the registry of metamorphic rule families, in the order
+// they are documented in DESIGN.md §9. Each rule transforms a corpus case
+// and asserts the relation its Doc states; later PRs extend the suite by
+// appending here.
+func Rules() []Rule {
+	return []Rule{
+		{
+			Name:  "bandwidth-serialization",
+			Doc:   "doubling every link bandwidth strictly speeds a run up, and halves the serialization-dominated completion time within 25%",
+			Check: checkBandwidthSerialization,
+		},
+		{
+			Name:  "size-scaling",
+			Doc:   "doubling the collective size never speeds a run up and at most doubles its completion time (plus sub-cycle rounding slack)",
+			Check: checkSizeScaling,
+		},
+		{
+			Name:  "ring-rotation-invariance",
+			Doc:   "on a single-ring torus, rotating a straggler to any other node leaves the completion time bit-identical (node-ID permutation symmetry)",
+			Check: checkRingRotationInvariance,
+		},
+		{
+			Name:  "straggler-monotone",
+			Doc:   "raising a node's straggler factor never speeds the run up",
+			Check: checkStragglerMonotone,
+		},
+		{
+			Name:  "drop-rate-monotone",
+			Doc:   "packet loss with retransmit recovery never beats the loss-free run",
+			Check: checkDropRateMonotone,
+		},
+		{
+			Name:  "enhanced-vs-baseline",
+			Doc:   "under asymmetric local bandwidth, the enhanced hierarchical all-reduce never loses to baseline (paper §III-D)",
+			Check: checkEnhancedVsBaseline,
+		},
+		{
+			Name:  "retry-policy-noop",
+			Doc:   "a retry policy armed on a fault-free run is invisible: byte-identical traffic, identical completion, zero retransmits",
+			Check: checkRetryPolicyNoop,
+		},
+		{
+			Name:  "oracle-exact",
+			Doc:   "single-chunk runs match the closed-form oracle cycle-for-cycle",
+			Check: checkOracleExact,
+		},
+	}
+}
+
+// checkBandwidthSerialization doubles every link class's bandwidth. The
+// transformed run must be strictly faster, and — at serialization-
+// dominated sizes, which the rule pins by clamping the case to a 4 MB
+// single chunk — the speedup must approach 2x: 2*T(2bw) within 25% of
+// T(bw), the α/β split of the cost model.
+func checkBandwidthSerialization(c Case) error {
+	c.Splits = 1
+	if c.Bytes < 4<<20 {
+		c.Bytes = 4 << 20
+	}
+	base, err := simulate(c, runOpts{})
+	if err != nil {
+		return err
+	}
+	double := func(n *config.Network) {
+		n.LocalLinkBandwidth *= 2
+		n.PackageLinkBandwidth *= 2
+		n.ScaleOutLinkBandwidth *= 2
+	}
+	fast, err := simulate(c, runOpts{net: double})
+	if err != nil {
+		return err
+	}
+	if fast.Duration >= base.Duration {
+		return fmt.Errorf("doubled bandwidth did not speed up: %d -> %d cycles", base.Duration, fast.Duration)
+	}
+	lo, hi := 3*base.Duration/4, 5*base.Duration/4
+	if folded := 2 * fast.Duration; folded < lo || folded > hi {
+		return fmt.Errorf("serialization did not halve: T(bw)=%d, 2*T(2bw)=%d outside [%d, %d]", base.Duration, folded, lo, hi)
+	}
+	return nil
+}
+
+// checkSizeScaling doubles the collective size: completion time must not
+// shrink, and must not grow beyond 2x plus slack for per-step constants
+// and sub-cycle rounding.
+func checkSizeScaling(c Case) error {
+	base, err := simulate(c, runOpts{})
+	if err != nil {
+		return err
+	}
+	d := c
+	d.Bytes = 2 * c.Bytes
+	doubled, err := simulate(d, runOpts{})
+	if err != nil {
+		return err
+	}
+	if doubled.Duration < base.Duration {
+		return fmt.Errorf("doubling size sped the run up: %d -> %d cycles", base.Duration, doubled.Duration)
+	}
+	slack := base.Duration/20 + 64
+	if doubled.Duration > 2*base.Duration+slack {
+		return fmt.Errorf("doubling size more than doubled time: %d -> %d cycles (bound %d)", base.Duration, doubled.Duration, 2*base.Duration+slack)
+	}
+	return nil
+}
+
+// checkRingRotationInvariance applies to cases whose topology is a
+// single active ring spanning every NPU (e.g. 1x8x1): rotating a
+// straggler from node 0 to the diametrically opposite node is a topology
+// automorphism, so the completion time must be bit-identical.
+func checkRingRotationInvariance(c Case) error {
+	dims, npus, err := activeTorusDims(c)
+	if err != nil {
+		return err
+	}
+	if len(dims) != 1 || dims[0].Size != npus || npus < 2 {
+		return nil // not a single-ring topology; rule does not apply
+	}
+	straggle := func(node topology.Node) runOpts {
+		return runOpts{inst: func(inst *system.Instance) {
+			inst.Sys.SetNodeStragglerFactor(node, 5)
+		}}
+	}
+	at0, err := simulate(c, straggle(0))
+	if err != nil {
+		return err
+	}
+	rotated := topology.Node(npus / 2)
+	atR, err := simulate(c, straggle(rotated))
+	if err != nil {
+		return err
+	}
+	if at0.Duration != atR.Duration {
+		return fmt.Errorf("straggler at node 0 ran %d cycles but at node %d ran %d: ring rotation symmetry broken", at0.Duration, rotated, atR.Duration)
+	}
+	return nil
+}
+
+// checkStragglerMonotone raises one node's straggler factor from 2x to
+// 8x: the run must never get faster.
+func checkStragglerMonotone(c Case) error {
+	straggle := func(factor float64) runOpts {
+		return runOpts{inst: func(inst *system.Instance) {
+			inst.Sys.SetNodeStragglerFactor(0, factor)
+		}}
+	}
+	mild, err := simulate(c, straggle(2))
+	if err != nil {
+		return err
+	}
+	severe, err := simulate(c, straggle(8))
+	if err != nil {
+		return err
+	}
+	if severe.Duration < mild.Duration {
+		return fmt.Errorf("8x straggler ran %d cycles, faster than 2x straggler's %d", severe.Duration, mild.Duration)
+	}
+	return nil
+}
+
+// checkDropRateMonotone injects deterministic packet loss (with
+// retransmit recovery) on every link: the lossy run must never beat the
+// loss-free one. The fault seed derives from the case so the comparison
+// is reproducible.
+func checkDropRateMonotone(c Case) error {
+	if c.Bytes > 1<<20 {
+		c.Bytes = 1 << 20 // keep retransmit-heavy runs bounded
+	}
+	clean, err := simulate(c, runOpts{})
+	if err != nil {
+		return err
+	}
+	plan := &faults.Plan{
+		Seed:  uint64(c.Bytes)*2654435761 + uint64(c.Splits),
+		Drops: []faults.Drop{{LinkSet: faults.LinkSet{Class: "all"}, Probability: 0.002}},
+		Retry: &faults.Retry{Timeout: 20000, Backoff: 2, MaxRetries: 10},
+	}
+	lossy, err := simulate(c, runOpts{plan: plan})
+	if err != nil {
+		return err
+	}
+	if lossy.Duration < clean.Duration {
+		return fmt.Errorf("lossy run (%d retransmits) took %d cycles, beating the loss-free %d", lossy.Retransmits, lossy.Duration, clean.Duration)
+	}
+	return nil
+}
+
+// checkEnhancedVsBaseline applies to hierarchical tori with an active
+// local dimension: with the default asymmetric fabric (local links ~8x
+// the inter-package bandwidth) and an inter-package-dominated size, the
+// enhanced all-reduce — which shrinks inter-package traffic to 1/M —
+// must not lose to baseline.
+func checkEnhancedVsBaseline(c Case) error {
+	dims, _, err := activeTorusDims(c)
+	if err != nil {
+		return err
+	}
+	if len(dims) < 2 || dims[0].Dim != topology.DimLocal {
+		return nil // needs local + at least one inter-package ring dimension
+	}
+	c.Op = collectives.AllReduce
+	if c.Bytes < 1<<20 {
+		c.Bytes = 1 << 20
+	}
+	b := c
+	b.Alg = config.Baseline
+	base, err := simulate(b, runOpts{})
+	if err != nil {
+		return err
+	}
+	e := c
+	e.Alg = config.Enhanced
+	enh, err := simulate(e, runOpts{})
+	if err != nil {
+		return err
+	}
+	if enh.Duration > base.Duration {
+		return fmt.Errorf("enhanced all-reduce ran %d cycles, slower than baseline's %d on an asymmetric fabric", enh.Duration, base.Duration)
+	}
+	return nil
+}
+
+// checkRetryPolicyNoop arms the retransmit protocol on a fault-free run:
+// with nothing to recover it must be invisible — identical completion
+// time, byte-identical injected traffic, zero retransmits.
+func checkRetryPolicyNoop(c Case) error {
+	plain, err := simulate(c, runOpts{})
+	if err != nil {
+		return err
+	}
+	armed, err := simulate(c, runOpts{inst: func(inst *system.Instance) {
+		inst.Sys.SetRetryPolicy(&system.RetryPolicy{Timeout: 5000, Backoff: 2, MaxRetries: 4})
+	}})
+	if err != nil {
+		return err
+	}
+	if armed.Retransmits != 0 {
+		return fmt.Errorf("fault-free run retransmitted %d messages", armed.Retransmits)
+	}
+	if armed.Duration != plain.Duration || armed.InjectedBytes != plain.InjectedBytes {
+		return fmt.Errorf("armed retry policy changed the run: %d cycles/%d bytes vs %d cycles/%d bytes",
+			armed.Duration, armed.InjectedBytes, plain.Duration, plain.InjectedBytes)
+	}
+	return nil
+}
+
+// checkOracleExact forces the case into the single-chunk regime and
+// cross-checks the simulator against the closed-form oracle with zero
+// tolerance — the differential check as a standing metamorphic rule, so
+// the randomized corpus keeps probing configurations the fixed corpus in
+// internal/collectives does not enumerate.
+func checkOracleExact(c Case) error {
+	c.Splits = 1
+	cfg := config.DefaultSystem()
+	cfg.Algorithm = c.Alg
+	cfg.PreferredSetSplits = 1
+	topo, err := cli.BuildTopology(c.Topo, cli.DefaultTopologyOptions(), &cfg)
+	if err != nil {
+		return err
+	}
+	net := config.DefaultNetwork()
+	sim, err := simulate(c, runOpts{})
+	if err != nil {
+		return err
+	}
+	m, err := oracle.NewModel(topo, cfg, net)
+	if err != nil {
+		return err
+	}
+	pred, err := m.Predict(c.Op, c.Bytes)
+	if err != nil {
+		return err
+	}
+	if pred.Cycles != sim.Duration {
+		return fmt.Errorf("oracle predicted %d cycles, simulator ran %d", pred.Cycles, sim.Duration)
+	}
+	return nil
+}

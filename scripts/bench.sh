@@ -1,43 +1,107 @@
 #!/bin/sh
 # bench.sh — core-microbenchmark regression harness.
 #
-# Runs the simulator-core microbenchmarks with -benchmem and writes:
+# Record mode runs the simulator-core microbenchmarks with -benchmem and
+# writes:
 #   BENCH_core.txt   raw `go test -bench` output (for humans and diffing)
 #   BENCH_core.json  one JSON object per benchmark (for tooling/trend plots)
 #
-# Usage: scripts/bench.sh [output-dir]   (default: repo root)
+# Compare mode diffs a fresh run against the committed baseline
+# (BENCH_core.json at the repo root) and emits a GitHub Actions
+# `::warning::` annotation for every benchmark whose ns/op or allocs/op
+# regressed by more than 15%. Regressions warn, they do not fail: CI
+# runners are noisy, and the committed baseline is the reviewed source of
+# truth that perf-sensitive PRs re-record deliberately.
 #
-# Run it before and after a perf-sensitive change; the JSON keys
+# Usage:
+#   scripts/bench.sh [output-dir]         record (default output: repo root)
+#   scripts/bench.sh compare [work-dir]   fresh run into work-dir (default:
+#                                         a temp dir), compare vs baseline
+#
+# Run record mode before and after a perf-sensitive change; the JSON keys
 # (ns_per_op, bytes_per_op, allocs_per_op) are the numbers PR descriptions
 # should quote. Keep BENCHTIME small enough for CI but >=3x so ns/op is
 # not a single-sample fluke.
 set -eu
 
 cd "$(dirname "$0")/.."
-OUT="${1:-.}"
-mkdir -p "$OUT"
 BENCHTIME="${BENCHTIME:-3x}"
-TXT="$OUT/BENCH_core.txt"
-JSON="$OUT/BENCH_core.json"
 
 # The stable core set: one event-queue microbenchmark plus the two
 # collective microbenchmarks the perf acceptance criteria track.
 CORE='BenchmarkAllReduce4x4x4_4MB|BenchmarkAllToAll_8Packages_1MB'
 EVQ='BenchmarkScheduleRun'
 
-{
-  go test -run '^$' -bench "$CORE" -benchmem -benchtime "$BENCHTIME" .
-  go test -run '^$' -bench "$EVQ" -benchmem -benchtime 100x ./internal/eventq/
-} | tee "$TXT"
+# record DIR: run the core set and write BENCH_core.{txt,json} into DIR.
+record() {
+  out="$1"
+  mkdir -p "$out"
+  txt="$out/BENCH_core.txt"
+  json="$out/BENCH_core.json"
+  {
+    go test -run '^$' -bench "$CORE" -benchmem -benchtime "$BENCHTIME" .
+    go test -run '^$' -bench "$EVQ" -benchmem -benchtime 100x ./internal/eventq/
+  } | tee "$txt"
+  # Convert "BenchmarkX  N  ns/op  B/op  allocs/op" lines into JSON records.
+  awk '
+    /^Benchmark/ && /allocs\/op/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      printf("%s{\"benchmark\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
+             (n++ ? ",\n  " : "[\n  "), name, $2, $3, $5, $7)
+    }
+    END { if (n) print "\n]"; else print "[]" }
+  ' "$txt" > "$json"
+  echo "wrote $txt and $json" >&2
+}
 
-# Convert "BenchmarkX  N  ns/op  B/op  allocs/op" lines into JSON records.
+if [ "${1:-}" != "compare" ]; then
+  record "${1:-.}"
+  exit 0
+fi
+
+# ---- compare mode ----------------------------------------------------
+baseline="BENCH_core.json"
+if [ ! -f "$baseline" ]; then
+  echo "bench.sh compare: no committed baseline at $baseline (record one with scripts/bench.sh)" >&2
+  exit 1
+fi
+work="${2:-$(mktemp -d)}"
+if [ ! -f "$work/BENCH_core.json" ]; then
+  record "$work" >/dev/null
+fi
+fresh="$work/BENCH_core.json"
+
+# Both files are the flat one-object-per-line JSON this script writes, so
+# a line-oriented awk join is enough — no jq dependency.
 awk '
-  /^Benchmark/ && /allocs\/op/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    printf("%s{\"benchmark\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
-           (n++ ? ",\n  " : "[\n  "), name, $2, $3, $5, $7)
+  function val(line, key,   rest) {
+    rest = line
+    if (!sub(".*\"" key "\":", "", rest)) return ""
+    sub(/[,}].*/, "", rest)
+    return rest
   }
-  END { if (n) print "\n]"; else print "[]" }
-' "$TXT" > "$JSON"
-
-echo "wrote $TXT and $JSON" >&2
+  /"benchmark":/ {
+    name = val($0, "benchmark"); gsub(/"/, "", name)
+    ns = val($0, "ns_per_op"); allocs = val($0, "allocs_per_op")
+    if (FNR == NR) { base_ns[name] = ns; base_allocs[name] = allocs; next }
+    if (!(name in base_ns)) {
+      printf("bench compare: %s has no baseline entry (re-record BENCH_core.json)\n", name)
+      next
+    }
+    checked++
+    if (base_ns[name] + 0 > 0 && ns + 0 > 1.15 * base_ns[name]) {
+      printf("::warning title=bench regression::%s ns/op %.0f -> %.0f (+%.1f%%, threshold 15%%)\n",
+             name, base_ns[name], ns, 100 * (ns / base_ns[name] - 1))
+      flagged++
+    }
+    if (base_allocs[name] + 0 > 0 && allocs + 0 > 1.15 * base_allocs[name]) {
+      printf("::warning title=bench regression::%s allocs/op %d -> %d (+%.1f%%, threshold 15%%)\n",
+             name, base_allocs[name], allocs, 100 * (allocs / base_allocs[name] - 1))
+      flagged++
+    }
+  }
+  END {
+    printf("bench compare: %d benchmarks checked against the baseline, %d regression warnings\n",
+           checked + 0, flagged + 0) > "/dev/stderr"
+  }
+' "$baseline" "$fresh"
