@@ -35,6 +35,7 @@ import (
 	"astrasim/internal/config"
 	"astrasim/internal/energy"
 	"astrasim/internal/faults"
+	"astrasim/internal/graph"
 	"astrasim/internal/models"
 	"astrasim/internal/system"
 	"astrasim/internal/topology"
@@ -531,6 +532,56 @@ func (p *Platform) TrainPipeline(def Definition, cfg PipelineConfig, passes int)
 		return PipelineResult{}, err
 	}
 	res, err := workload.RunPipeline(inst, def, cfg, passes)
+	if err != nil {
+		return res, err
+	}
+	return res, auditErr(aud)
+}
+
+// WorkloadGraph is an execution-trace DAG (Chakra-style): COMP, COMM,
+// SEND/RECV, and MEM nodes with explicit dependency edges, replayed by a
+// dependency-driven scheduler instead of the fixed layer-wise training
+// loop. Build one with LoadGraph/ParseGraph, compile one from a
+// layer-wise Definition with CompileGraph, or generate a 1F1B pipeline
+// schedule with Pipeline1F1BGraph.
+type WorkloadGraph = graph.Graph
+
+// GraphNode is one node of a WorkloadGraph.
+type GraphNode = graph.Node
+
+// LoadGraph reads and validates a JSON execution graph from a file.
+func LoadGraph(path string) (*WorkloadGraph, error) { return graph.Load(path) }
+
+// ParseGraph reads and validates a JSON execution graph.
+func ParseGraph(name string, r io.Reader) (*WorkloadGraph, error) { return graph.Parse(name, r) }
+
+// WriteGraph emits a graph as indented JSON (the -graph-dump format).
+func WriteGraph(w io.Writer, g *WorkloadGraph) error { return graph.Write(w, g) }
+
+// CompileGraph unrolls a layer-wise workload definition into an execution
+// graph whose replay is cycle-exact with Train.
+func CompileGraph(def Definition, passes int) (*WorkloadGraph, error) {
+	return graph.FromDefinition(def, passes)
+}
+
+// Pipeline1F1BGraph generates a static 1F1B (PipeDream-Flush) pipeline-
+// parallel schedule as an execution graph: per-stage warm-up forwards,
+// steady-state one-forward-one-backward pairs, and a drain, with
+// activation and gradient tensors crossing stage boundaries as SEND/RECV
+// pairs.
+func Pipeline1F1BGraph(def Definition, cfg PipelineConfig, passes int) (*WorkloadGraph, error) {
+	return graph.Pipeline1F1B(def, cfg, passes)
+}
+
+// RunGraph replays an execution graph over the platform and folds
+// per-node accounting into the trainer's result shape (per-layer compute,
+// raw and exposed communication).
+func (p *Platform) RunGraph(g *WorkloadGraph) (TrainingResult, error) {
+	inst, aud, err := p.instance()
+	if err != nil {
+		return TrainingResult{}, err
+	}
+	res, err := graph.Run(inst, g)
 	if err != nil {
 		return res, err
 	}

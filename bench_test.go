@@ -206,3 +206,39 @@ func BenchmarkPipelineResNet50_8Stages(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkGraphReplayPipeline(b *testing.B) {
+	b.ReportAllocs()
+	def := astrasim.ResNet50(8)
+	acts := astrasim.ResNet50ActivationBytes(8)
+	boundaries := astrasim.AutoPartition(def, 8)
+	nodes := make([]astrasim.NodeID, 8)
+	for i := range nodes {
+		nodes[i] = astrasim.NodeID(i)
+	}
+	bb := make([]int64, len(boundaries))
+	for i, bd := range boundaries {
+		bb[i] = acts[bd-1] / 32
+	}
+	g, err := astrasim.Pipeline1F1BGraph(def, astrasim.PipelineConfig{
+		Boundaries: boundaries, StageNodes: nodes,
+		Microbatches: 32, BoundaryBytes: bb,
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() {
+		p, err := astrasim.NewTorusPlatform(1, 8, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.RunGraph(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm up one-time allocations so allocs/op is stable at any -benchtime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}

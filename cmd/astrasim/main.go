@@ -13,10 +13,18 @@
 //	astrasim -workload transformer -topology 2x2x2 -scheduling-policy LIFO
 //	astrasim -workload my_dnn.txt -topology a2a:4x4 -switches 2
 //	astrasim -workload resnet50 -faults examples/faults/lossy.json
+//	astrasim -graph workloads/microbench.graph.json -topology 2x2x2
+//	astrasim -workload dlrm -graph-dump dlrm.graph.json
 //
 // -faults applies a JSON fault plan (degraded links, outages, stragglers,
 // packet drops with retransmit; see DESIGN.md §8) to the training run and
 // reports the dropped-packet and retransmit counters.
+//
+// -graph replays an execution-trace DAG (JSON, DESIGN.md §10) through the
+// dependency-driven graph engine instead of the layer-wise training loop;
+// -graph-dump compiles the selected -workload into that format and exits.
+// -audit attaches the invariant auditor to the run and fails loudly on
+// any conservation or quiescence violation.
 package main
 
 import (
@@ -25,10 +33,12 @@ import (
 	"os"
 	"strings"
 
+	"astrasim/internal/audit"
 	"astrasim/internal/cli"
 	"astrasim/internal/compute"
 	"astrasim/internal/config"
 	"astrasim/internal/faults"
+	"astrasim/internal/graph"
 	"astrasim/internal/models"
 	"astrasim/internal/report"
 	"astrasim/internal/system"
@@ -57,11 +67,35 @@ func main() {
 	writeWorkload := flag.String("write-workload", "", "write the selected workload as a Fig. 8 file and exit")
 	faultsFlag := flag.String("faults", "", "JSON fault plan for the run (see DESIGN.md §8)")
 	traceOut := flag.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) of the run to this file")
+	graphFlag := flag.String("graph", "", "replay this execution graph (JSON, DESIGN.md §10) instead of the training loop")
+	graphDump := flag.String("graph-dump", "", "compile the selected -workload into an execution graph, write it here, and exit")
+	auditFlag := flag.Bool("audit", false, "attach the invariant auditor and fail on any violation")
 	flag.Parse()
 
-	def, err := loadWorkload(*wl, *batch, *seqLen, *computeScale)
-	if err != nil {
-		fatal(err)
+	var def workload.Definition
+	var err error
+	if *graphFlag == "" || *graphDump != "" {
+		if def, err = loadWorkload(*wl, *batch, *seqLen, *computeScale); err != nil {
+			fatal(err)
+		}
+	}
+	if *graphDump != "" {
+		g, err := graph.FromDefinition(def, *passes)
+		if err != nil {
+			fatal(err)
+		}
+		fh, err := os.Create(*graphDump)
+		if err != nil {
+			fatal(err)
+		}
+		if err := graph.Write(fh, g); err != nil {
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d nodes, %d passes)\n", *graphDump, len(g.Nodes), g.Passes)
+		return
 	}
 	if *writeWorkload != "" {
 		fh, err := os.Create(*writeWorkload)
@@ -123,13 +157,30 @@ func main() {
 		rec = trace.New()
 		inst.Sys.Tracer = rec
 	}
-	tr, err := workload.NewTrainer(inst, def, *passes)
-	if err != nil {
-		fatal(err)
+	var aud *audit.Auditor
+	if *auditFlag {
+		aud = audit.Attach(inst.Sys, inst.Net)
 	}
-	res, err := tr.Run()
-	if err != nil {
-		fatal(err)
+	var res workload.Result
+	var runName string
+	if *graphFlag != "" {
+		g, err := graph.Load(*graphFlag)
+		if err != nil {
+			fatal(err)
+		}
+		runName = fmt.Sprintf("graph %s (%d nodes)", g.Name, len(g.Nodes))
+		if res, err = graph.Run(inst, g); err != nil {
+			fatal(err)
+		}
+	} else {
+		runName = fmt.Sprintf("workload %s (%s)", def.Name, def.Parallelism)
+		tr, err := workload.NewTrainer(inst, def, *passes)
+		if err != nil {
+			fatal(err)
+		}
+		if res, err = tr.Run(); err != nil {
+			fatal(err)
+		}
 	}
 	if rec != nil {
 		fh, err := os.Create(*traceOut)
@@ -145,8 +196,8 @@ func main() {
 		fmt.Printf("wrote %s (%d spans)\n", *traceOut, rec.Len())
 	}
 
-	fmt.Printf("workload %s (%s), %d passes on %s, %v algorithm, %v scheduling\n",
-		def.Name, def.Parallelism, *passes, topo.Name(), cfg.Algorithm, cfg.SchedulingPolicy)
+	fmt.Printf("%s, %d passes on %s, %v algorithm, %v scheduling\n",
+		runName, res.Passes, topo.Name(), cfg.Algorithm, cfg.SchedulingPolicy)
 	t := report.New("layers", "per-layer results",
 		"layer", "compute", "fwd-comm", "ig-comm", "wg-comm", "exposed")
 	for _, l := range res.Layers {
@@ -170,6 +221,12 @@ func main() {
 		ds := inst.Net.DropStats()
 		fmt.Printf("faults: %d packets dropped (%d bytes), %d retransmits (%d goodput bytes resent)\n",
 			ds.DroppedPackets, ds.DroppedBytes, inst.Sys.Retransmits(), inst.Sys.RetransmittedBytes())
+	}
+	if aud != nil {
+		if err := aud.Report().Err(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("audit: all invariants held")
 	}
 }
 

@@ -50,10 +50,12 @@ import (
 	"astrasim/internal/config"
 	"astrasim/internal/energy"
 	"astrasim/internal/faults"
+	"astrasim/internal/graph"
 	"astrasim/internal/oracle"
 	"astrasim/internal/parallel"
 	"astrasim/internal/system"
 	"astrasim/internal/topology"
+	"astrasim/internal/workload"
 )
 
 // options is the fully parsed and validated command line; main only
@@ -73,6 +75,10 @@ type options struct {
 	audit      bool
 	oracle     bool
 	plan       *faults.Plan
+	// graphW x graphD, when non-zero, replays a microbenchmark DAG
+	// (width independent chains of depth dependent collectives) through
+	// the graph workload engine instead of issuing one collective.
+	graphW, graphD int
 }
 
 // parseArgs parses and validates the flag set. It never prints; every
@@ -95,6 +101,7 @@ func parseArgs(args []string) (*options, error) {
 	auditFlag := fs.Bool("audit", false, "audit each run for invariant violations (byte conservation, quiescence)")
 	oracleFlag := fs.Bool("oracle", false, "cross-check each run against the closed-form oracle (DESIGN.md §9)")
 	faultsFlag := fs.String("faults", "", "JSON fault plan applied to each run (see DESIGN.md §8)")
+	graphBench := fs.String("graph-bench", "", "replay a WIDTHxDEPTH microbenchmark DAG of the selected op through the graph engine (e.g. 4x8)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -138,6 +145,11 @@ func parseArgs(args []string) (*options, error) {
 			return nil, err
 		}
 	}
+	if *graphBench != "" {
+		if n, err := fmt.Sscanf(*graphBench, "%dx%d", &o.graphW, &o.graphD); err != nil || n != 2 || o.graphW <= 0 || o.graphD <= 0 {
+			return nil, fmt.Errorf("collectives: -graph-bench wants WIDTHxDEPTH with positive terms, got %q", *graphBench)
+		}
+	}
 	return o, nil
 }
 
@@ -178,6 +190,13 @@ func main() {
 				fmt.Println("oracle: note: degraded-link/outage/drop faults are outside the model; expect divergence")
 			}
 		}
+	}
+
+	if o.graphW > 0 {
+		if err := runGraphBench(o, topo, cfg, net); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	// Each size is an independent simulation (fresh engine/network per
@@ -242,6 +261,76 @@ func main() {
 	if violations > 0 {
 		fatal(fmt.Errorf("%d invariant violations", violations))
 	}
+}
+
+// runGraphBench replays the WIDTHxDEPTH microbenchmark DAG for every
+// requested size: width independent chains each running depth dependent
+// collectives, scheduled by the graph workload engine.
+func runGraphBench(o *options, topo topology.Topology, cfg config.System, net config.Network) error {
+	type result struct {
+		inst *system.Instance
+		res  workload.Result
+		rep  audit.Report
+	}
+	results, err := parallel.Map(parallel.New(o.workers), len(o.sizes), func(i int) (result, error) {
+		g, err := graph.Microbench(o.op, o.sizes[i], o.graphW, o.graphD)
+		if err != nil {
+			return result{}, err
+		}
+		inst, err := system.NewInstance(topo, cfg, net)
+		if err != nil {
+			return result{}, err
+		}
+		var aud *audit.Auditor
+		if o.audit {
+			aud = audit.Attach(inst.Sys, inst.Net)
+		}
+		if o.plan != nil {
+			if err := faults.Apply(o.plan, inst); err != nil {
+				return result{}, err
+			}
+		}
+		res, err := graph.Run(inst, g)
+		if err != nil {
+			return result{}, err
+		}
+		r := result{inst: inst, res: res}
+		if aud != nil {
+			r.rep = aud.Report()
+		}
+		return r, nil
+	})
+	if err != nil {
+		return err
+	}
+	violations := 0
+	for i, r := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("graph microbench: %d x %v of %s on %s (%s algorithm, %d NPUs)\n",
+			o.graphW, o.op, o.sizeTokens[i], r.inst.Topo.Name(), o.algName, r.inst.Topo.NumNPUs())
+		fmt.Printf("depth %d per lane, %d collectives total\n", o.graphD, o.graphW*o.graphD)
+		fmt.Printf("total time: %d cycles (%.3f us at 1 GHz)\n",
+			r.res.TotalCycles, float64(r.res.TotalCycles)/1000)
+		for _, l := range r.res.Layers {
+			fmt.Printf("  %s: %d raw comm cycles over %d collectives\n",
+				l.Name, l.TotalCommCycles(), len(l.FwdHandles))
+		}
+		if o.plan != nil {
+			ds := r.inst.Net.DropStats()
+			fmt.Printf("faults: %d packets dropped (%d bytes), %d retransmits (%d goodput bytes resent)\n",
+				ds.DroppedPackets, ds.DroppedBytes, r.inst.Sys.Retransmits(), r.inst.Sys.RetransmittedBytes())
+		}
+		if o.audit {
+			fmt.Printf("audit: %s\n", r.rep)
+			violations += len(r.rep.Violations)
+		}
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d invariant violations", violations)
+	}
+	return nil
 }
 
 // printOracle reports the closed-form prediction next to the simulated

@@ -112,6 +112,23 @@ func (m Model) GEMMCyclesWithTraffic(g GEMM, trafficBytes int64) uint64 {
 	return uint64(cycles / m.Scale)
 }
 
+// MemCycles returns the DRAM streaming stall for moving bytes at the
+// model's HBM bandwidth (the graph workload engine's MEM nodes): the
+// ceiling of bytes / DRAMBandwidth. Unlike GEMM delays it does not
+// shrink with the compute Scale knob — memory stalls are bandwidth-
+// bound, not throughput-bound.
+func (m Model) MemCycles(bytes int64) uint64 {
+	if bytes <= 0 {
+		return 0
+	}
+	cycles := float64(bytes) / m.DRAMBandwidth
+	c := uint64(cycles)
+	if float64(c) < cycles {
+		c++
+	}
+	return c
+}
+
 // LayerCycles returns the cycles for a full layer pass built from one or
 // more GEMMs plus the parameterized non-GEMM overhead.
 func (m Model) LayerCycles(gemms ...GEMM) uint64 {

@@ -291,6 +291,7 @@ func Extensions() []Figure {
 		{"extswitch", "Switch-based scale-up topology", ExtSwitched},
 		{"extvalidate", "Simulator vs analytic bounds", ExtValidate},
 		{"extdegrade", "Fault injection & graceful degradation", ExtDegradation},
+		{"extgraph", "Graph workload engine: 1F1B pipeline bubbles", ExtGraph},
 	}
 }
 

@@ -1,0 +1,424 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"astrasim/internal/collectives"
+	"astrasim/internal/compute"
+	"astrasim/internal/eventq"
+	"astrasim/internal/system"
+	"astrasim/internal/topology"
+	"astrasim/internal/workload"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Compute resolves COMP gemm shapes and MEM stalls (nil: the default
+	// paper-calibrated model).
+	Compute *compute.Model
+}
+
+// nodeState is one node's runtime bookkeeping.
+type nodeState struct {
+	started   bool
+	completed bool
+	// startAt is when the node was issued/armed/started — the baseline
+	// below which a dependent's stall on this node is never charged.
+	startAt eventq.Time
+	// effFinish is when a dependent may resume: completion time, plus
+	// the local update delay for a COMM.
+	effFinish eventq.Time
+	cycles    uint64         // resolved COMP/MEM duration
+	handle    *system.Handle // in-flight collective (COMM)
+	// waiters are dependency walks suspended until this node completes,
+	// notified in registration order.
+	waiters []func()
+	// RECV rendezvous state.
+	armed       bool
+	delivered   bool
+	deliveredAt eventq.Time
+}
+
+// Engine replays a validated Graph over a system instance.
+//
+// Scheduling is dependency-driven and mirrors the trainer's nested
+// sequential waits exactly: each node walks its dep list in declared
+// order in simulated time, suspending on unfinished deps, resuming via a
+// scheduled event at a collective's ready time (completion + local
+// update), and charging the stall to the dependency's layer as exposed
+// communication. Because the walk reproduces the trainer's continuation
+// structure event-for-event, a converted layer-wise workload replays
+// cycle-exactly, and exposed-vs-total analysis, trace spans, audit
+// conservation, fault plans, and oracle bounds apply unchanged.
+type Engine struct {
+	inst  *system.Instance
+	g     *Graph
+	model compute.Model
+
+	idx     map[string]int
+	nodes   []nodeState
+	stats   []workload.LayerStats
+	statIdx map[string]int
+	statOf  []int // node -> stats row
+	lanes   map[int]eventq.Time
+
+	remaining int
+	endAt     eventq.Time
+	err       error
+}
+
+// NewEngine validates g against the instance's topology, resolves COMP
+// gemm shapes and MEM stalls through the compute model, and prepares the
+// dependency scheduler.
+func NewEngine(inst *system.Instance, g *Graph, opts Options) (*Engine, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	model := compute.Default()
+	if opts.Compute != nil {
+		model = *opts.Compute
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		inst: inst, g: g, model: model,
+		idx:     make(map[string]int, len(g.Nodes)),
+		nodes:   make([]nodeState, len(g.Nodes)),
+		statIdx: make(map[string]int),
+		statOf:  make([]int, len(g.Nodes)),
+		lanes:   make(map[int]eventq.Time),
+	}
+	for i, n := range g.Nodes {
+		e.idx[n.ID] = i
+	}
+	npus := inst.Topo.NumNPUs()
+	for i, n := range g.Nodes {
+		switch n.Kind {
+		case KindComp:
+			e.nodes[i].cycles = n.Cycles
+			if n.GEMM != nil {
+				e.nodes[i].cycles = e.model.GEMMCycles(compute.GEMM{M: n.GEMM.M, K: n.GEMM.K, N: n.GEMM.N})
+			}
+		case KindMem:
+			e.nodes[i].cycles = e.model.MemCycles(n.Bytes)
+		case KindComm:
+			// Pre-compile the collective so scope/topology mismatches
+			// surface here instead of mid-simulation.
+			op, _ := collectives.ParseOp(n.Op)
+			dims, err := workload.Scope(n.Scope).Dims()
+			if err != nil {
+				return nil, fmt.Errorf("graph %s: node %s: %w", g.Name, n.ID, err)
+			}
+			if _, err := collectives.CompileScoped(op, inst.Topo, inst.Sys.Cfg.Algorithm, dims); err != nil {
+				return nil, fmt.Errorf("graph %s: node %s: %w", g.Name, n.ID, err)
+			}
+		case KindSend:
+			if n.Src >= npus || n.Dst >= npus {
+				return nil, fmt.Errorf("graph %s: node %s: endpoints %d->%d outside topology (%d NPUs)",
+					g.Name, n.ID, n.Src, n.Dst, npus)
+			}
+		}
+		// Stats rows in first-appearance order (node ID when unnamed).
+		layer := n.Layer
+		if layer == "" {
+			layer = n.ID
+		}
+		row, ok := e.statIdx[layer]
+		if !ok {
+			row = len(e.stats)
+			e.statIdx[layer] = row
+			e.stats = append(e.stats, workload.LayerStats{Name: layer})
+		}
+		e.statOf[i] = row
+	}
+	e.remaining = len(g.Nodes)
+	inst.Sys.Tracer.NameProcess(0, "graph ("+g.Name+")")
+	if tr := inst.Sys.Tracer; tr.Enabled() {
+		for _, n := range g.Nodes {
+			tr.NameThread(0, n.Replica, fmt.Sprintf("replica %d", n.Replica))
+		}
+	}
+	return e, nil
+}
+
+// Run replays the graph to completion and folds per-node accounting into
+// the trainer's result shape.
+func (e *Engine) Run() (workload.Result, error) {
+	// Every node's dependency walk begins at cycle 0 in declaration
+	// order: source nodes start synchronously (as the trainer starts
+	// forward(0,0) before Run), the rest suspend on their first
+	// unfinished dependency.
+	for i := range e.g.Nodes {
+		e.walk(i, 0)
+	}
+	e.inst.Eng.Run()
+	if e.err != nil {
+		return workload.Result{}, e.err
+	}
+	if e.remaining > 0 {
+		return workload.Result{}, fmt.Errorf("graph %s: %d of %d nodes never ran (stuck: %s); %d events fired",
+			e.g.Name, e.remaining, len(e.g.Nodes), e.stuckNodes(), e.inst.Eng.Fired())
+	}
+	return workload.Result{TotalCycles: e.endAt, Passes: e.g.Passes, Layers: e.stats}, nil
+}
+
+// stuckNodes lists (a few of) the nodes that never completed.
+func (e *Engine) stuckNodes() string {
+	var ids []string
+	for i, n := range e.g.Nodes {
+		if !e.nodes[i].completed {
+			ids = append(ids, n.ID)
+			if len(ids) == 8 {
+				ids = append(ids, "...")
+				break
+			}
+		}
+	}
+	return strings.Join(ids, ", ")
+}
+
+// commKind reports whether node j resumes dependents at a deadline
+// beyond its completion event (collective ready time, message delivery)
+// — the kinds whose stalls count as exposed communication.
+func (e *Engine) commKind(j int) bool {
+	k := e.g.Nodes[j].Kind
+	return k == KindComm || k == KindRecv
+}
+
+// walk processes node i's dependencies from index d onward at the
+// current cycle — the trainer's chain of nested waits. Completed
+// communication deps whose ready time lies ahead charge the stall and
+// hop there via a scheduled event; unfinished deps suspend the walk as a
+// waiter on the dep. When the list is exhausted the node starts.
+func (e *Engine) walk(i, d int) {
+	if e.err != nil {
+		return
+	}
+	n := &e.g.Nodes[i]
+	for ; d < len(n.Deps); d++ {
+		j := e.idx[n.Deps[d]]
+		ds := &e.nodes[j]
+		now := e.inst.Eng.Now()
+		if !ds.completed {
+			waitStart := now
+			next := d + 1
+			ds.waiters = append(ds.waiters, func() {
+				// Runs inside j's completion. Non-comm deps resume the
+				// walk synchronously (the trainer's direct continuation
+				// call); comm deps charge the stall since the later of
+				// suspension and issue, then resume at the ready time
+				// (the trainer's eng.At(readyAt, k) — always a
+				// scheduled event, preserving event order).
+				if !e.commKind(j) {
+					e.walk(i, next)
+					return
+				}
+				base := waitStart
+				if ds.startAt > base {
+					base = ds.startAt
+				}
+				if ds.effFinish > base {
+					st := &e.stats[e.statOf[j]]
+					st.ExposedCycles += uint64(ds.effFinish - base)
+					e.traceSpan("exposed "+st.Name, "exposed", n.Replica, base, ds.effFinish-base)
+				}
+				e.inst.Eng.At(ds.effFinish, func() { e.walk(i, next) })
+			})
+			return
+		}
+		if e.commKind(j) && ds.effFinish > now {
+			// Completed earlier but not yet usable (local update still
+			// running): stall here until the ready time.
+			st := &e.stats[e.statOf[j]]
+			st.ExposedCycles += uint64(ds.effFinish - now)
+			e.traceSpan("exposed "+st.Name, "exposed", n.Replica, now, ds.effFinish-now)
+			next := d + 1
+			e.inst.Eng.At(ds.effFinish, func() { e.walk(i, next) })
+			return
+		}
+		// Usable already: continue to the next dep synchronously.
+	}
+	e.startNode(i)
+}
+
+// startNode begins node i's work once its dependencies are satisfied,
+// serializing COMP/MEM nodes that share a replica lane.
+func (e *Engine) startNode(i int) {
+	n := &e.g.Nodes[i]
+	ns := &e.nodes[i]
+	now := e.inst.Eng.Now()
+	if n.Kind == KindComp || n.Kind == KindMem {
+		if lane := e.lanes[n.Replica]; lane > now {
+			// The lane is busy; reserve the next slot and start then.
+			e.lanes[n.Replica] = lane + eventq.Time(ns.cycles)
+			e.inst.Eng.At(lane, func() { e.execute(i) })
+			return
+		}
+		e.lanes[n.Replica] = now + eventq.Time(ns.cycles)
+	}
+	e.execute(i)
+}
+
+// execute performs node i's operation at the current cycle.
+func (e *Engine) execute(i int) {
+	if e.err != nil {
+		return
+	}
+	n := &e.g.Nodes[i]
+	ns := &e.nodes[i]
+	now := e.inst.Eng.Now()
+	ns.started = true
+	ns.startAt = now
+	st := &e.stats[e.statOf[i]]
+	switch n.Kind {
+	case KindComp, KindMem:
+		cycles := ns.cycles
+		if cycles == 0 {
+			// Zero-cost work completes synchronously (the trainer's
+			// delay(0, k) calls k directly).
+			e.complete(i, now)
+			return
+		}
+		cat := "compute"
+		if n.Kind == KindMem {
+			cat = "mem"
+		}
+		e.inst.Eng.Schedule(eventq.Time(cycles), func() {
+			st.ComputeCycles += cycles
+			e.traceSpan(e.spanName(n), cat, n.Replica, now, eventq.Time(cycles))
+			e.complete(i, e.inst.Eng.Now())
+		})
+	case KindComm:
+		op, _ := collectives.ParseOp(n.Op)
+		dims, _ := workload.Scope(n.Scope).Dims()
+		tag := n.Tag
+		if tag == "" {
+			tag = n.ID
+		}
+		raw, handles := commBuckets(st, n.Pass)
+		update := workload.Layer{UpdatePerKB: n.UpdatePerKB}.UpdateCycles(n.Bytes)
+		h, err := e.inst.Sys.Issue(system.CollectiveSpec{
+			Op: op, Bytes: n.Bytes, Tag: tag, Priority: n.Priority, Scope: dims,
+		}, func(h *system.Handle) {
+			*raw += uint64(h.Duration())
+			e.complete(i, e.inst.Eng.Now()+eventq.Time(update))
+		})
+		if err != nil {
+			e.fail(fmt.Errorf("graph %s: node %s: %w", e.g.Name, n.ID, err))
+			return
+		}
+		ns.handle = h
+		*handles = append(*handles, h)
+	case KindSend:
+		peer := e.idx[n.Peer]
+		err := e.inst.Sys.SendPointToPoint(topology.Node(n.Src), topology.Node(n.Dst), n.Bytes, func() { e.deliver(peer) })
+		if err != nil {
+			e.fail(fmt.Errorf("graph %s: node %s: %w", e.g.Name, n.ID, err))
+			return
+		}
+		// An asynchronous send occupies no local time: it completes at
+		// issue, and the paired RECV carries the transfer's latency.
+		e.complete(i, now)
+	case KindRecv:
+		ns.armed = true
+		if ns.delivered {
+			e.finishRecv(i)
+		}
+		// Otherwise deliver() completes the node when the payload lands.
+	}
+}
+
+// deliver is a SEND's delivery callback landing on RECV node i.
+func (e *Engine) deliver(i int) {
+	ns := &e.nodes[i]
+	ns.delivered = true
+	ns.deliveredAt = e.inst.Eng.Now()
+	if ns.armed && !ns.completed {
+		e.finishRecv(i)
+	}
+}
+
+// finishRecv completes RECV node i at the rendezvous point. The transfer
+// time — delivery minus the later of arming and the paired SEND's issue —
+// accrues as raw communication, so a RECV armed long before the sender
+// even started (common in static pipeline schedules) doesn't inflate the
+// raw-comm totals with pure schedule slack.
+func (e *Engine) finishRecv(i int) {
+	n := &e.g.Nodes[i]
+	ns := &e.nodes[i]
+	now := e.inst.Eng.Now()
+	st := &e.stats[e.statOf[i]]
+	raw, _ := commBuckets(st, n.Pass)
+	base := ns.startAt
+	if ps := e.nodes[e.idx[n.Peer]]; ps.startAt > base {
+		base = ps.startAt
+	}
+	if ns.deliveredAt > base {
+		*raw += uint64(ns.deliveredAt - base)
+	}
+	e.complete(i, now)
+}
+
+// commBuckets maps a pass label to the stats row's raw-comm accumulator
+// and handle list.
+func commBuckets(st *workload.LayerStats, pass string) (*uint64, *[]*system.Handle) {
+	switch pass {
+	case "ig":
+		return &st.IGCommCycles, &st.IGHandles
+	case "wg":
+		return &st.WGCommCycles, &st.WGHandles
+	}
+	return &st.FwdCommCycles, &st.FwdHandles
+}
+
+// complete marks node i done at the current cycle with the given resume
+// deadline for dependents, then notifies suspended walks in registration
+// order (matching the trainer's synchronous continuation chains).
+func (e *Engine) complete(i int, effFinish eventq.Time) {
+	ns := &e.nodes[i]
+	ns.completed = true
+	ns.effFinish = effFinish
+	e.remaining--
+	if e.remaining == 0 {
+		e.endAt = e.inst.Eng.Now()
+	}
+	ws := ns.waiters
+	ns.waiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+// fail records the first runtime error and stops the simulation.
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+		e.inst.Eng.Stop()
+	}
+}
+
+// spanName labels a node's trace span: the trainer's "<pass> <layer>"
+// when both are set, the node ID otherwise.
+func (e *Engine) spanName(n *Node) string {
+	if n.Layer != "" && n.Pass != "" {
+		return n.Pass + " " + n.Layer
+	}
+	return n.ID
+}
+
+// traceSpan records one workload-level span on the node's replica lane.
+func (e *Engine) traceSpan(name, cat string, replica int, start, dur eventq.Time) {
+	e.inst.Sys.Tracer.Span(name, cat, 0, replica, start, dur, nil)
+}
+
+// Run is the one-call convenience: build an engine over inst and replay
+// g with default options.
+func Run(inst *system.Instance, g *Graph) (workload.Result, error) {
+	e, err := NewEngine(inst, g, Options{})
+	if err != nil {
+		return workload.Result{}, err
+	}
+	return e.Run()
+}

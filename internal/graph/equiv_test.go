@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"astrasim/internal/collectives"
+	"astrasim/internal/config"
+	"astrasim/internal/system"
+	"astrasim/internal/topology"
+	"astrasim/internal/workload"
+)
+
+// newTorusInstance builds a 2x2x2 torus instance (all three scope dims
+// available, so scoped HYBRID workloads compile).
+func newTorusInstance(t testing.TB) *system.Instance {
+	t.Helper()
+	tp, err := topology.NewTorus(2, 2, 2, topology.DefaultTorusConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.DefaultSystem()
+	cfg.Topology = config.Torus3D
+	cfg.LocalSize, cfg.HorizontalSize, cfg.VerticalSize = 2, 2, 2
+	inst, err := system.NewInstance(tp, cfg, config.DefaultNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// newA2AInstance builds a 2x2 alltoall instance.
+func newA2AInstance(t testing.TB) *system.Instance {
+	t.Helper()
+	tp, err := topology.NewA2A(2, 2, topology.DefaultA2AConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.DefaultSystem()
+	cfg.Topology = config.AllToAll
+	cfg.LocalSize, cfg.HorizontalSize = 2, 2
+	inst, err := system.NewInstance(tp, cfg, config.DefaultNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// loadWorkload parses one of the committed workload files.
+func loadWorkload(t *testing.T, name string) workload.Definition {
+	t.Helper()
+	path := filepath.Join("..", "..", "workloads", name)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	def, err := workload.Parse(name, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return def
+}
+
+// syntheticData is a small DATA-parallel definition exercising overlap:
+// big weight-gradient collectives under short compute.
+func syntheticData() workload.Definition {
+	return workload.Definition{
+		Name:        "synth-data",
+		Parallelism: workload.DataParallel,
+		Layers: []workload.Layer{
+			{Name: "conv", FwdCompute: 1000, IGCompute: 1100, WGCompute: 1200,
+				FwdComm: collectives.None, IGComm: collectives.None,
+				WGComm: collectives.AllReduce, WGBytes: 256 << 10, UpdatePerKB: 2},
+			{Name: "fc", FwdCompute: 400, IGCompute: 500, WGCompute: 600,
+				FwdComm: collectives.None, IGComm: collectives.None,
+				WGComm: collectives.AllReduce, WGBytes: 512 << 10, UpdatePerKB: 2},
+		},
+	}
+}
+
+// syntheticModel is a MODEL-parallel definition: blocking forward
+// all-gathers and input-gradient exchanges, no weight sync.
+func syntheticModel() workload.Definition {
+	return workload.Definition{
+		Name:        "synth-model",
+		Parallelism: workload.ModelParallel,
+		Layers: []workload.Layer{
+			{Name: "embed", FwdCompute: 800, IGCompute: 900, WGCompute: 300,
+				FwdComm: collectives.AllGather, FwdBytes: 64 << 10,
+				IGComm: collectives.AllToAll, IGBytes: 32 << 10,
+				WGComm: collectives.None},
+			{Name: "mlp", FwdCompute: 1500, IGCompute: 1600, WGCompute: 500,
+				FwdComm: collectives.AllGather, FwdBytes: 128 << 10,
+				IGComm: collectives.AllToAll, IGBytes: 64 << 10,
+				WGComm: collectives.None},
+			{Name: "head", FwdCompute: 200, IGCompute: 250, WGCompute: 100,
+				FwdComm: collectives.AllReduce, FwdBytes: 16 << 10,
+				IGComm: collectives.None, WGComm: collectives.None},
+		},
+	}
+}
+
+// TestConverterCycleExact is the tentpole acceptance test: for every
+// committed workload file plus synthetic DATA/MODEL definitions, across
+// two topology families and 1..2 passes, compiling the definition to a
+// graph and replaying it must reproduce the trainer's result
+// byte-for-byte — total cycles, per-layer compute, raw comm by pass,
+// exposed stalls, and per-collective durations.
+func TestConverterCycleExact(t *testing.T) {
+	defs := []workload.Definition{
+		loadWorkload(t, "dlrm.txt"),
+		loadWorkload(t, "resnet50.txt"),
+		loadWorkload(t, "transformer.txt"),
+		syntheticData(),
+		syntheticModel(),
+	}
+	topos := map[string]func(testing.TB) *system.Instance{
+		"torus2x2x2": newTorusInstance,
+		"a2a2x2":     newA2AInstance,
+	}
+	for _, def := range defs {
+		for tpName, newInst := range topos {
+			for passes := 1; passes <= 2; passes++ {
+				name := fmt.Sprintf("%s/%s/p%d", def.Name, tpName, passes)
+				t.Run(name, func(t *testing.T) {
+					if scoped(def) && tpName != "torus2x2x2" {
+						t.Skip("scoped workload needs the 3D torus")
+					}
+					if testing.Short() && def.Name == "resnet50.txt" && passes == 2 {
+						t.Skip("skipping the slowest case in -short mode")
+					}
+					tr, err := workload.NewTrainer(newInst(t), def, passes)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := tr.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					g, err := FromDefinition(def, passes)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := Run(newInst(t), g)
+					if err != nil {
+						t.Fatal(err)
+					}
+					compareResults(t, want, got)
+				})
+			}
+		}
+	}
+}
+
+// scoped reports whether any layer restricts a collective's scope.
+func scoped(def workload.Definition) bool {
+	for _, l := range def.Layers {
+		if l.FwdScope != "" || l.IGScope != "" || l.WGScope != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// compareResults asserts got replays want exactly.
+func compareResults(t *testing.T, want, got workload.Result) {
+	t.Helper()
+	if got.TotalCycles != want.TotalCycles {
+		t.Errorf("TotalCycles = %d, want %d", got.TotalCycles, want.TotalCycles)
+	}
+	if got.Passes != want.Passes {
+		t.Errorf("Passes = %d, want %d", got.Passes, want.Passes)
+	}
+	if len(got.Layers) != len(want.Layers) {
+		t.Fatalf("got %d layer rows, want %d", len(got.Layers), len(want.Layers))
+	}
+	for i := range want.Layers {
+		w, g := want.Layers[i], got.Layers[i]
+		if g.Name != w.Name {
+			t.Errorf("layer %d name = %q, want %q", i, g.Name, w.Name)
+			continue
+		}
+		if g.ComputeCycles != w.ComputeCycles {
+			t.Errorf("%s: ComputeCycles = %d, want %d", w.Name, g.ComputeCycles, w.ComputeCycles)
+		}
+		if g.FwdCommCycles != w.FwdCommCycles || g.IGCommCycles != w.IGCommCycles || g.WGCommCycles != w.WGCommCycles {
+			t.Errorf("%s: comm cycles = %d/%d/%d, want %d/%d/%d", w.Name,
+				g.FwdCommCycles, g.IGCommCycles, g.WGCommCycles,
+				w.FwdCommCycles, w.IGCommCycles, w.WGCommCycles)
+		}
+		if g.ExposedCycles != w.ExposedCycles {
+			t.Errorf("%s: ExposedCycles = %d, want %d", w.Name, g.ExposedCycles, w.ExposedCycles)
+		}
+		compareHandles(t, w.Name+"/fwd", w.FwdHandles, g.FwdHandles)
+		compareHandles(t, w.Name+"/ig", w.IGHandles, g.IGHandles)
+		compareHandles(t, w.Name+"/wg", w.WGHandles, g.WGHandles)
+	}
+}
+
+// compareHandles asserts the same collectives ran with the same timing.
+func compareHandles(t *testing.T, label string, want, got []*system.Handle) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d handles, want %d", label, len(got), len(want))
+		return
+	}
+	for i := range want {
+		if got[i].CreatedAt != want[i].CreatedAt || got[i].DoneAt != want[i].DoneAt {
+			t.Errorf("%s[%d]: span [%d,%d], want [%d,%d]", label, i,
+				got[i].CreatedAt, got[i].DoneAt, want[i].CreatedAt, want[i].DoneAt)
+		}
+	}
+}

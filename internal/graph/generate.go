@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"fmt"
+
+	"astrasim/internal/collectives"
+	"astrasim/internal/workload"
+)
+
+// Pipeline1F1B generates a static, non-interleaved 1F1B pipeline-
+// parallel schedule (PipeDream-Flush) as an execution graph: layers are
+// partitioned into stages (cfg.Boundaries), each stage runs on one NPU
+// (cfg.StageNodes, the graph replica lanes), the minibatch splits into
+// cfg.Microbatches, and activation/gradient tensors cross stage
+// boundaries as SEND/RECV pairs. Stage s runs min(S-1-s, M) warm-up
+// forwards, then alternates one-forward-one-backward, then drains —
+// encoded entirely as dependency edges, so the schedule is a pure DAG
+// replay. Collective fields of the definition are ignored (single
+// replica per stage), as in workload.RunPipeline.
+func Pipeline1F1B(def workload.Definition, cfg workload.PipelineConfig, passes int) (*Graph, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(len(def.Layers)); err != nil {
+		return nil, err
+	}
+	if passes <= 0 {
+		return nil, fmt.Errorf("graph: passes must be positive, got %d", passes)
+	}
+	S := len(cfg.Boundaries) + 1
+	M := cfg.Microbatches
+
+	// Per-stage compute per microbatch, split as in workload.RunPipeline.
+	bounds := append(append([]int{0}, cfg.Boundaries...), len(def.Layers))
+	fwd := make([]uint64, S)
+	bwd := make([]uint64, S)
+	for s := 0; s < S; s++ {
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			l := def.Layers[i]
+			fwd[s] += l.FwdCompute / uint64(M)
+			bwd[s] += (l.IGCompute + l.WGCompute) / uint64(M)
+		}
+	}
+
+	g := &Graph{
+		Version: FormatVersion,
+		Name:    fmt.Sprintf("%s 1f1b %d stages x %d microbatches", def.Name, S, M),
+		Passes:  passes,
+	}
+	fid := func(p, s, m int) string { return fmt.Sprintf("p%d/s%d/f%d", p, s, m) }
+	bid := func(p, s, m int) string { return fmt.Sprintf("p%d/s%d/b%d", p, s, m) }
+	stage := func(s int) string { return fmt.Sprintf("stage%d", s) }
+
+	// lastJob chains one pass's schedule onto the next per stage.
+	lastJob := make([]string, S)
+	for p := 0; p < passes; p++ {
+		// SEND/RECV pairs for every boundary crossing of this pass.
+		for s := 0; s < S-1; s++ {
+			for m := 0; m < M; m++ {
+				sendAct := fmt.Sprintf("p%d/s%d>s%d/act%d", p, s, s+1, m)
+				recvAct := fmt.Sprintf("p%d/s%d<s%d/act%d", p, s+1, s, m)
+				g.Nodes = append(g.Nodes,
+					Node{ID: sendAct, Kind: KindSend, Peer: recvAct,
+						Src: int(cfg.StageNodes[s]), Dst: int(cfg.StageNodes[s+1]),
+						Bytes: cfg.BoundaryBytes[s], Deps: []string{fid(p, s, m)},
+						Layer: stage(s), Pass: "fwd", Replica: s},
+					Node{ID: recvAct, Kind: KindRecv, Peer: sendAct,
+						Layer: stage(s + 1), Pass: "fwd", Replica: s + 1},
+					Node{ID: fmt.Sprintf("p%d/s%d>s%d/grad%d", p, s+1, s, m), Kind: KindSend,
+						Peer: fmt.Sprintf("p%d/s%d<s%d/grad%d", p, s, s+1, m),
+						Src:  int(cfg.StageNodes[s+1]), Dst: int(cfg.StageNodes[s]),
+						Bytes: cfg.BoundaryBytes[s], Deps: []string{bid(p, s+1, m)},
+						Layer: stage(s + 1), Pass: "ig", Replica: s + 1},
+					Node{ID: fmt.Sprintf("p%d/s%d<s%d/grad%d", p, s, s+1, m), Kind: KindRecv,
+						Peer:  fmt.Sprintf("p%d/s%d>s%d/grad%d", p, s+1, s, m),
+						Layer: stage(s), Pass: "ig", Replica: s},
+				)
+			}
+		}
+		// Per-stage static 1F1B job order, serialized by chain edges.
+		for s := 0; s < S; s++ {
+			warmup := S - 1 - s
+			if warmup > M {
+				warmup = M
+			}
+			type job struct {
+				id       string
+				cycles   uint64
+				pass     string
+				extraDep string
+			}
+			var jobs []job
+			addF := func(m int) {
+				j := job{id: fid(p, s, m), cycles: fwd[s], pass: "fwd"}
+				if s > 0 {
+					j.extraDep = fmt.Sprintf("p%d/s%d<s%d/act%d", p, s, s-1, m)
+				}
+				jobs = append(jobs, j)
+			}
+			addB := func(m int) {
+				j := job{id: bid(p, s, m), cycles: bwd[s], pass: "wg"}
+				if s < S-1 {
+					j.extraDep = fmt.Sprintf("p%d/s%d<s%d/grad%d", p, s, s+1, m)
+				}
+				jobs = append(jobs, j)
+			}
+			for m := 0; m < warmup; m++ {
+				addF(m)
+			}
+			for m := warmup; m < M; m++ {
+				addF(m)
+				addB(m - warmup)
+			}
+			for m := M - warmup; m < M; m++ {
+				addB(m)
+			}
+			prev := lastJob[s]
+			for _, j := range jobs {
+				var deps []string
+				if prev != "" {
+					deps = append(deps, prev)
+				}
+				if j.extraDep != "" {
+					deps = append(deps, j.extraDep)
+				}
+				g.Nodes = append(g.Nodes, Node{
+					ID: j.id, Kind: KindComp, Cycles: j.cycles,
+					Layer: stage(s), Pass: j.pass, Replica: s, Deps: deps,
+				})
+				prev = j.id
+			}
+			lastJob[s] = prev
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: generated 1F1B DAG is invalid (generator bug): %w", err)
+	}
+	return g, nil
+}
+
+// PipelineBubbleRatio derives the pipeline bubble fraction from a 1F1B
+// replay result: the idle share across stage lanes, 1 - sum(compute) /
+// (stages x total) — comparable to workload.PipelineResult.BubbleRatio.
+func PipelineBubbleRatio(res workload.Result, stages int) float64 {
+	if res.TotalCycles == 0 || stages == 0 {
+		return 0
+	}
+	return 1 - float64(res.TotalCompute())/(float64(stages)*float64(res.TotalCycles))
+}
+
+// Microbench builds a width x depth grid of collectives: width
+// independent chains (stats rows "lane0".."laneN"), each running depth
+// sequential ops of the given size — a pure scheduler microbenchmark
+// exercising concurrent collectives with per-chain dependencies.
+func Microbench(op collectives.Op, bytes int64, width, depth int) (*Graph, error) {
+	if width <= 0 || depth <= 0 {
+		return nil, fmt.Errorf("graph: microbench needs positive width and depth, got %dx%d", width, depth)
+	}
+	if bytes <= 0 {
+		return nil, fmt.Errorf("graph: microbench needs positive bytes, got %d", bytes)
+	}
+	g := &Graph{
+		Version: FormatVersion,
+		Name:    fmt.Sprintf("microbench %v %dB %dx%d", op, bytes, width, depth),
+		Passes:  1,
+	}
+	for w := 0; w < width; w++ {
+		prev := ""
+		for d := 0; d < depth; d++ {
+			n := Node{
+				ID: fmt.Sprintf("lane%d/c%d", w, d), Kind: KindComm,
+				Layer: fmt.Sprintf("lane%d", w),
+				Op:    op.String(), Bytes: bytes, Priority: d,
+			}
+			if prev != "" {
+				n.Deps = []string{prev}
+			}
+			g.Nodes = append(g.Nodes, n)
+			prev = n.ID
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: generated microbench DAG is invalid (generator bug): %w", err)
+	}
+	return g, nil
+}

@@ -35,12 +35,15 @@ type Event struct {
 // nothing, so instrumentation sites need no nil checks beyond the method
 // call itself.
 type Recorder struct {
-	events []Event
-	names  map[int]string // pid -> process label
+	events  []Event
+	names   map[int]string    // pid -> process label
+	threads map[[2]int]string // (pid, tid) -> thread label
 }
 
 // New returns an empty recorder.
-func New() *Recorder { return &Recorder{names: make(map[int]string)} }
+func New() *Recorder {
+	return &Recorder{names: make(map[int]string), threads: make(map[[2]int]string)}
+}
 
 // Enabled reports whether spans will be kept.
 func (r *Recorder) Enabled() bool { return r != nil }
@@ -68,6 +71,14 @@ func (r *Recorder) NameProcess(pid int, name string) {
 	r.names[pid] = name
 }
 
+// NameThread labels one (pid, tid) row (e.g. a graph replica lane).
+func (r *Recorder) NameThread(pid, tid int, name string) {
+	if r == nil {
+		return
+	}
+	r.threads[[2]int{pid, tid}] = name
+}
+
 // Len reports the number of recorded spans.
 func (r *Recorder) Len() int {
 	if r == nil {
@@ -87,6 +98,7 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 		Name string            `json:"name"`
 		Ph   string            `json:"ph"`
 		PID  int               `json:"pid"`
+		TID  int               `json:"tid,omitempty"`
 		Args map[string]string `json:"args"`
 	}
 	var out []any
@@ -98,6 +110,20 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 	for _, pid := range pids {
 		out = append(out, meta{Name: "process_name", Ph: "M", PID: pid,
 			Args: map[string]string{"name": r.names[pid]}})
+	}
+	tids := make([][2]int, 0, len(r.threads))
+	for k := range r.threads {
+		tids = append(tids, k)
+	}
+	sort.Slice(tids, func(i, j int) bool {
+		if tids[i][0] != tids[j][0] {
+			return tids[i][0] < tids[j][0]
+		}
+		return tids[i][1] < tids[j][1]
+	})
+	for _, k := range tids {
+		out = append(out, meta{Name: "thread_name", Ph: "M", PID: k[0], TID: k[1],
+			Args: map[string]string{"name": r.threads[k]}})
 	}
 	evs := append([]Event(nil), r.events...)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })

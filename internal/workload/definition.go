@@ -232,11 +232,19 @@ func Parse(name string, r io.Reader) (Definition, error) {
 	if err != nil || n <= 0 {
 		return fail(fmt.Errorf("invalid layer count %q", line), "parsing layer count")
 	}
+	seen := make(map[string]int, n) // layer name -> line number
 	for i := 0; i < n; i++ {
 		var l Layer
 		if l.Name, err = next(); err != nil {
 			return fail(err, fmt.Sprintf("layer %d name", i))
 		}
+		if prev, dup := seen[l.Name]; dup {
+			// Duplicate names would silently merge two layers' stats rows
+			// and make graph node IDs collide.
+			return fail(fmt.Errorf("duplicate layer name %q (first defined on line %d)", l.Name, prev),
+				fmt.Sprintf("layer %d name", i))
+		}
+		seen[l.Name] = lineNo
 		line, err = next()
 		if err != nil {
 			return fail(err, fmt.Sprintf("layer %d compute times", i))

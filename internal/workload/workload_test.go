@@ -88,6 +88,34 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParseRejectsDuplicateLayerNames(t *testing.T) {
+	input := `DATA
+2
+conv1
+10 20 30
+NONE NONE ALLREDUCE
+0 0 1024
+1
+conv1
+11 21 31
+NONE NONE ALLREDUCE
+0 0 2048
+1
+`
+	_, err := Parse("dup", strings.NewReader(input))
+	if err == nil {
+		t.Fatal("expected duplicate-layer-name error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "conv1") {
+		t.Errorf("error %q does not name the duplicate layer", msg)
+	}
+	// Both the failing and the original definition lines are reported.
+	if !strings.Contains(msg, "line 8") || !strings.Contains(msg, "line 3") {
+		t.Errorf("error %q does not carry both line numbers", msg)
+	}
+}
+
 func TestCommPatternTableI(t *testing.T) {
 	// Table I: data -> weight gradients only; model -> activations and
 	// input gradients; hybrid -> all (partially).

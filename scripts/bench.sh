@@ -27,9 +27,10 @@ set -eu
 cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-3x}"
 
-# The stable core set: one event-queue microbenchmark plus the two
-# collective microbenchmarks the perf acceptance criteria track.
-CORE='BenchmarkAllReduce4x4x4_4MB|BenchmarkAllToAll_8Packages_1MB'
+# The stable core set: one event-queue microbenchmark plus the
+# collective and graph-replay microbenchmarks the perf acceptance
+# criteria track.
+CORE='BenchmarkAllReduce4x4x4_4MB|BenchmarkAllToAll_8Packages_1MB|BenchmarkGraphReplayPipeline'
 EVQ='BenchmarkScheduleRun'
 
 # record DIR: run the core set and write BENCH_core.{txt,json} into DIR.
