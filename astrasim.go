@@ -170,6 +170,26 @@ func (p *Platform) SetFaultPlan(plan *FaultPlan) error {
 // error. Off by default; the checks cost a few percent of runtime.
 func (p *Platform) SetAudit(on bool) { p.audit = on }
 
+// Backend selects the network transport implementation.
+type Backend = config.Backend
+
+// Network backends: the congestion-aware packet-level model (the default)
+// and the congestion-unaware analytical fast mode, which is byte-identical
+// to packet-level on uncongested runs and orders of magnitude faster.
+const (
+	PacketBackend = config.PacketBackend
+	FastBackend   = config.FastBackend
+)
+
+// ParseBackend converts "packet"/"fast" to a Backend; the error names any
+// rejected token.
+func ParseBackend(s string) (Backend, error) { return config.ParseBackend(s) }
+
+// SetBackend selects the network backend for every subsequent run on this
+// platform. FastBackend is incompatible with a fault plan (fault injection
+// is packet-only); the conflict is reported when the next run starts.
+func (p *Platform) SetBackend(b Backend) { p.sys.Backend = b }
+
 // instance builds a fresh wired simulation with the platform's fault
 // injections applied. The auditor is nil unless SetAudit(true).
 func (p *Platform) instance() (*system.Instance, *audit.Auditor, error) {
@@ -229,6 +249,12 @@ func WithAlgorithm(a Algorithm) Option {
 // WithSchedulingPolicy selects LIFO or FIFO ready-queue order.
 func WithSchedulingPolicy(p SchedulingPolicy) Option {
 	return func(o *platformOpts) { o.sys.SchedulingPolicy = p }
+}
+
+// WithBackend selects the network backend (packet or fast) at
+// construction; SetBackend changes it later.
+func WithBackend(b Backend) Option {
+	return func(o *platformOpts) { o.sys.Backend = b }
 }
 
 // WithSetSplits sets the preferred number of chunks per collective set.

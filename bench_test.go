@@ -109,6 +109,47 @@ func BenchmarkAllReduce4x4x4_4MB(b *testing.B) {
 	}
 }
 
+// benchAllReduce16Cubed is the backend-duality acceptance pair: the same
+// 16x16x16 (4096-NPU) all-reduce on the packet-level and fast analytical
+// backends. The two live in the LARGE bench set (scripts/bench.sh large),
+// not the CORE set — the packet run takes minutes per iteration at this
+// scale, which is exactly the cost the fast backend exists to avoid.
+//
+// The configuration is chosen so the network transport, not the shared
+// system layer, dominates: one chunk per set (splits=1) keeps the
+// LSQ/endpoint event count fixed, and MaxPacketsPerMessage=0 removes the
+// packet-event cap so the packet backend expands every message into one
+// event per LocalPacketSize bytes, exactly as the paper's Garnet runs.
+// The fast backend walks the same per-packet serialization arithmetic in
+// a plain loop instead of the event queue, which is where the speedup
+// comes from.
+func benchAllReduce16Cubed(b *testing.B, backend astrasim.Backend) {
+	b.ReportAllocs()
+	net := astrasim.DefaultNetworkConfig()
+	net.MaxPacketsPerMessage = 0
+	p, err := astrasim.NewTorusPlatform(16, 16, 16,
+		astrasim.WithAlgorithm(astrasim.Enhanced),
+		astrasim.WithSetSplits(1),
+		astrasim.WithNetwork(net),
+		astrasim.WithBackend(backend))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunCollective(astrasim.AllReduce, 32<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllReduce16x16x16_FastMode(b *testing.B) {
+	benchAllReduce16Cubed(b, astrasim.FastBackend)
+}
+
+func BenchmarkAllReduce16x16x16_PacketMode(b *testing.B) {
+	benchAllReduce16Cubed(b, astrasim.PacketBackend)
+}
+
 func BenchmarkAllToAll_8Packages_1MB(b *testing.B) {
 	b.ReportAllocs()
 	p, err := astrasim.NewAllToAllPlatform(1, 8, astrasim.WithGlobalSwitches(7), astrasim.WithRings(1, 1, 1))

@@ -25,6 +25,10 @@
 // -graph-dump compiles the selected -workload into that format and exits.
 // -audit attaches the invariant auditor to the run and fails loudly on
 // any conservation or quiescence violation.
+//
+// -backend selects the network transport: packet (congestion-aware,
+// default) or fast (congestion-unaware analytical mode; see DESIGN.md
+// §11). -faults requires the packet backend.
 package main
 
 import (
@@ -70,10 +74,18 @@ func main() {
 	graphFlag := flag.String("graph", "", "replay this execution graph (JSON, DESIGN.md §10) instead of the training loop")
 	graphDump := flag.String("graph-dump", "", "compile the selected -workload into an execution graph, write it here, and exit")
 	auditFlag := flag.Bool("audit", false, "attach the invariant auditor and fail on any violation")
+	backendFlag := flag.String("backend", "packet", "network backend: packet (congestion-aware) or fast (congestion-unaware analytical)")
 	flag.Parse()
 
+	backend, err := config.ParseBackend(*backendFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *faultsFlag != "" && backend != config.PacketBackend {
+		fatal(fmt.Errorf("-faults requires the packet backend; the %v backend does not model faults", backend))
+	}
+
 	var def workload.Definition
-	var err error
 	if *graphFlag == "" || *graphDump != "" {
 		if def, err = loadWorkload(*wl, *batch, *seqLen, *computeScale); err != nil {
 			fatal(err)
@@ -113,6 +125,7 @@ func main() {
 	}
 
 	cfg := config.DefaultSystem()
+	cfg.Backend = backend
 	if cfg.Algorithm, err = config.ParseAlgorithm(*algFlag); err != nil {
 		fatal(err)
 	}

@@ -29,6 +29,11 @@
 // packet drops with retransmit; see DESIGN.md §8) to each run and reports
 // the dropped-packet and retransmit counters alongside the usual stats.
 //
+// -backend selects the network transport: packet (congestion-aware,
+// default) or fast (congestion-unaware analytical mode; see DESIGN.md
+// §11). Single-chunk fast runs are cycle-exact with packet runs;
+// -faults requires the packet backend.
+//
 // -oracle cross-checks each run against the closed-form cost model in
 // internal/oracle (DESIGN.md §9): single-chunk runs print the exact
 // predicted-vs-simulated delta, chunked runs print the prediction bounds.
@@ -74,6 +79,7 @@ type options struct {
 	workers    int
 	audit      bool
 	oracle     bool
+	backend    config.Backend
 	plan       *faults.Plan
 	// graphW x graphD, when non-zero, replays a microbenchmark DAG
 	// (width independent chains of depth dependent collectives) through
@@ -101,6 +107,7 @@ func parseArgs(args []string) (*options, error) {
 	auditFlag := fs.Bool("audit", false, "audit each run for invariant violations (byte conservation, quiescence)")
 	oracleFlag := fs.Bool("oracle", false, "cross-check each run against the closed-form oracle (DESIGN.md §9)")
 	faultsFlag := fs.String("faults", "", "JSON fault plan applied to each run (see DESIGN.md §8)")
+	backendFlag := fs.String("backend", "packet", "network backend: packet (congestion-aware) or fast (congestion-unaware analytical)")
 	graphBench := fs.String("graph-bench", "", "replay a WIDTHxDEPTH microbenchmark DAG of the selected op through the graph engine (e.g. 4x8)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -140,9 +147,15 @@ func parseArgs(args []string) (*options, error) {
 	if o.workers < 1 {
 		return nil, fmt.Errorf("collectives: -parallel must be >= 1, got %d", o.workers)
 	}
+	if o.backend, err = config.ParseBackend(*backendFlag); err != nil {
+		return nil, err
+	}
 	if *faultsFlag != "" {
 		if o.plan, err = faults.Load(*faultsFlag); err != nil {
 			return nil, err
+		}
+		if o.backend != config.PacketBackend {
+			return nil, fmt.Errorf("collectives: -faults requires the packet backend; the %v backend does not model faults", o.backend)
 		}
 	}
 	if *graphBench != "" {
@@ -163,6 +176,7 @@ func main() {
 	cfg.Algorithm = o.alg
 	cfg.SchedulingPolicy = o.policy
 	cfg.PreferredSetSplits = o.splits
+	cfg.Backend = o.backend
 	topo, err := cli.BuildTopology(o.topoSpec, o.topoOpts, &cfg)
 	if err != nil {
 		fatal(err)

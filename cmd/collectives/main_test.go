@@ -87,6 +87,44 @@ func TestParseArgs(t *testing.T) {
 			},
 		},
 		{name: "faults file missing", args: []string{"-faults", "/nonexistent/plan.json"}, wantErr: "plan.json"},
+		{
+			name: "default backend is packet",
+			args: nil,
+			check: func(t *testing.T, o *options) {
+				if o.backend != config.PacketBackend {
+					t.Fatalf("default backend = %v, want packet", o.backend)
+				}
+			},
+		},
+		{
+			name: "fast backend",
+			args: []string{"-backend", "fast"},
+			check: func(t *testing.T, o *options) {
+				if o.backend != config.FastBackend {
+					t.Fatalf("backend = %v, want fast", o.backend)
+				}
+			},
+		},
+		{
+			name: "explicit packet backend",
+			args: []string{"-backend", "packet"},
+			check: func(t *testing.T, o *options) {
+				if o.backend != config.PacketBackend {
+					t.Fatalf("backend = %v, want packet", o.backend)
+				}
+			},
+		},
+		{name: "bad backend names the token", args: []string{"-backend", "warp"}, wantErr: `"warp"`},
+		{name: "empty backend", args: []string{"-backend", ""}, wantErr: `""`},
+		{
+			name: "fast backend with audit is allowed",
+			args: []string{"-backend", "fast", "-audit"},
+			check: func(t *testing.T, o *options) {
+				if o.backend != config.FastBackend || !o.audit {
+					t.Fatalf("backend=%v audit=%v, want fast+audit", o.backend, o.audit)
+				}
+			},
+		},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -119,6 +157,12 @@ func TestParseArgs(t *testing.T) {
 		if _, err := parseArgs([]string{"-faults", writePlan(t, invalidPlan)}); err == nil ||
 			!strings.Contains(err.Error(), "retry") {
 			t.Fatalf("err = %v, want drops-require-retry rejection", err)
+		}
+	})
+	t.Run("faults with fast backend rejected", func(t *testing.T) {
+		_, err := parseArgs([]string{"-faults", writePlan(t, validPlan), "-backend", "fast"})
+		if err == nil || !strings.Contains(err.Error(), "packet backend") {
+			t.Fatalf("err = %v, want faults-require-packet rejection", err)
 		}
 	})
 	t.Run("faults with audit and oracle", func(t *testing.T) {

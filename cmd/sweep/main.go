@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	sweep [-fig all|fig09|fig10|...|fig18] [-out results] [-quick] [-parallel N] [-audit] [-faults plan.json]
+//	sweep [-fig all|fig09|fig10|...|fig18] [-out results] [-quick] [-parallel N] [-audit] [-faults plan.json] [-backend packet|fast]
+//
+// -backend selects the network transport for every simulation: packet
+// (congestion-aware, the default — what the committed golden CSVs were
+// recorded with) or fast (congestion-unaware analytical mode for quick
+// design sweeps; see DESIGN.md §11). -faults requires the packet
+// backend; the degradation study always runs on it.
 //
 // -audit attaches the invariant auditor (byte conservation, quiescence,
 // free-list poisoning) to every simulation instance the sweep creates and
@@ -37,6 +43,7 @@ import (
 	"time"
 
 	"astrasim/internal/audit"
+	"astrasim/internal/config"
 	"astrasim/internal/experiments"
 	"astrasim/internal/faults"
 )
@@ -49,7 +56,16 @@ func main() {
 	workers := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation points (1 = serial)")
 	auditFlag := flag.Bool("audit", false, "audit every simulation for invariant violations (byte conservation, quiescence)")
 	faultsFlag := flag.String("faults", "", "JSON fault plan applied to every simulation (see DESIGN.md §8)")
+	backendFlag := flag.String("backend", "packet", "network backend: packet (congestion-aware) or fast (congestion-unaware analytical)")
 	flag.Parse()
+
+	backend, err := config.ParseBackend(*backendFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *faultsFlag != "" && backend != config.PacketBackend {
+		fatal(fmt.Errorf("-faults requires the packet backend; the %v backend does not model faults", backend))
+	}
 
 	var collector *audit.Collector
 	if *auditFlag {
@@ -73,6 +89,7 @@ func main() {
 		opts = experiments.Quick()
 	}
 	opts.Workers = *workers
+	opts.Backend = backend
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}

@@ -55,7 +55,7 @@ const numLinkClasses = int(topology.ScaleOutLink) + 1
 // via Report. An Auditor is single-threaded like the engine it watches.
 type Auditor struct {
 	sys *system.System
-	net *noc.Network
+	net system.Network
 	eng *eventq.Engine
 
 	// classOf maps LinkID -> LinkClass, precomputed at attach time.
@@ -81,10 +81,12 @@ type Auditor struct {
 }
 
 // Attach registers an auditor on one instance's system and network layers
-// (overwriting any previously attached hooks) and enables free-list
-// poisoning. The returned Auditor checks invariants whenever the engine
-// drains; call Report for the verdict.
-func Attach(sys *system.System, net *noc.Network) *Auditor {
+// (overwriting any previously attached hooks) and, on the packet backend,
+// enables free-list poisoning (the fast backend has no packet free list to
+// poison; every other invariant family applies to both backends). The
+// returned Auditor checks invariants whenever the engine drains; call
+// Report for the verdict.
+func Attach(sys *system.System, net system.Network) *Auditor {
 	a := &Auditor{sys: sys, net: net, eng: sys.Eng}
 	links := sys.Topo.Links()
 	a.classOf = make([]topology.LinkClass, len(links))
@@ -93,8 +95,10 @@ func Attach(sys *system.System, net *noc.Network) *Auditor {
 	}
 	sys.OnIssue = a.onIssue
 	sys.OnP2P = a.onP2P
-	net.OnSend = a.onSend
-	net.SetPoisonFreeList(true)
+	net.SetOnSend(a.onSend)
+	if pn, ok := net.(*noc.Network); ok {
+		pn.SetPoisonFreeList(true)
+	}
 	sys.Eng.SetOnDrain(a.onDrain)
 	return a
 }

@@ -156,6 +156,48 @@ func (p InjectionPolicy) String() string {
 	return "aggressive"
 }
 
+// Backend selects the network-layer transport implementation — the
+// congestion-aware/unaware duality of the original ASTRA-SIM, which ships
+// separate Garnet (packet-level) and analytical binaries for exactly this
+// trade-off.
+type Backend int
+
+const (
+	// PacketBackend is the congestion-aware packet-granularity fabric
+	// model (internal/noc): finite buffers, head-of-line backpressure,
+	// fault injection. The zero value, so existing configs keep their
+	// behavior.
+	PacketBackend Backend = iota
+	// FastBackend is the congestion-unaware analytical model
+	// (internal/fastnet): closed-form link serialization with infinite
+	// buffers, derived from the oracle's alpha-beta recurrence. Exact
+	// whenever the packet model's buffers never fill; orders of magnitude
+	// faster on large fabrics.
+	FastBackend
+)
+
+func (b Backend) String() string {
+	switch b {
+	case PacketBackend:
+		return "packet"
+	case FastBackend:
+		return "fast"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// ParseBackend converts "packet"/"fast" to a Backend. The error names the
+// offending token so CLI users see what was rejected.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "packet":
+		return PacketBackend, nil
+	case "fast":
+		return FastBackend, nil
+	}
+	return 0, fmt.Errorf("config: unknown network backend %q (want \"packet\" or \"fast\")", s)
+}
+
 // Network collects the Garnet-level parameters (Table III #17-28 and the
 // corresponding Table IV values). Bandwidths are expressed in bytes per
 // cycle; at 1 GHz that equals GB/s.
@@ -274,6 +316,12 @@ func (n Network) Validate() error {
 type System struct {
 	// Algorithm selects baseline vs enhanced hierarchical collectives.
 	Algorithm Algorithm
+	// Backend selects the network transport under the system layer:
+	// PacketBackend (congestion-aware, the default) or FastBackend
+	// (congestion-unaware analytical). It lives in the system config so
+	// the choice flows through every Platform, sweep, and experiment
+	// without new plumbing.
+	Backend Backend
 	// Topology is the logical topology kind.
 	Topology TopologyKind
 	// LocalSize is the number of NAMs (NPUs) per package: the "M" of an
@@ -372,6 +420,8 @@ func (s System) NumPackages() int {
 // Validate reports the first invalid system parameter, if any.
 func (s System) Validate() error {
 	switch {
+	case s.Backend != PacketBackend && s.Backend != FastBackend:
+		return fmt.Errorf("config: unknown network backend %d", int(s.Backend))
 	case s.LocalSize <= 0:
 		return errors.New("config: LocalSize must be positive")
 	case s.HorizontalSize <= 0:

@@ -7,11 +7,7 @@
 // (Arunkumar et al., HPCA 2019; Dally et al., VLSI 2018).
 package energy
 
-import (
-	"errors"
-
-	"astrasim/internal/noc"
-)
+import "errors"
 
 // Params are per-event energy costs in picojoules.
 type Params struct {
@@ -71,9 +67,16 @@ func (b Breakdown) Total() float64 { return b.Communication() + b.Compute }
 
 const pJ = 1e-12
 
+// TrafficSource is the slice of the network backend the energy model
+// needs: per-class byte totals. Both the packet-level and the analytical
+// backend satisfy it, so energy reports work in either mode.
+type TrafficSource interface {
+	TotalBytesByClass() (intra, inter, scaleOut int64)
+}
+
 // CommEnergy computes the communication energy of everything a network
 // carried so far.
-func CommEnergy(net *noc.Network, p Params) Breakdown {
+func CommEnergy(net TrafficSource, p Params) Breakdown {
 	intra, inter, scaleOut := net.TotalBytesByClass()
 	intraBits := float64(intra) * 8
 	interBits := float64(inter) * 8

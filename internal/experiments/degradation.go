@@ -17,7 +17,9 @@ import (
 // enhanced instance under the given fault plan and returns the handle
 // plus the instance (for drop/retransmit counters).
 func faultedRun(plan *faults.Plan, net config.Network, size int64) (*system.Handle, *system.Instance, error) {
-	tp, cfg, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), config.Enhanced)
+	// Fault injection is packet-only, so the degradation study always
+	// runs on the packet backend regardless of Options.Backend.
+	tp, cfg, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), config.Enhanced, config.PacketBackend)
 	if err != nil {
 		return nil, nil, err
 	}

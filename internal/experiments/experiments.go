@@ -57,6 +57,13 @@ type Options struct {
 	// collected in submission order, so tables are byte-identical for
 	// every worker count.
 	Workers int
+	// Backend selects the network transport for every simulation a figure
+	// runs: config.PacketBackend (the zero value — congestion-aware,
+	// packet-granularity, what the committed golden CSVs were recorded
+	// with) or config.FastBackend (congestion-unaware analytical mode for
+	// quick design sweeps). The fault-injection studies are packet-only
+	// and ignore this field.
+	Backend config.Backend
 }
 
 // runner returns the sweep executor for o's worker count.
@@ -119,8 +126,9 @@ func asymmetricNet(pktCap int) config.Network {
 	return n
 }
 
-// torusSystem builds a torus topology plus a matching system config.
-func torusSystem(m, n, k int, tc topology.TorusConfig, alg config.Algorithm) (*topology.Torus, config.System, error) {
+// torusSystem builds a torus topology plus a matching system config on
+// the requested network backend.
+func torusSystem(m, n, k int, tc topology.TorusConfig, alg config.Algorithm, backend config.Backend) (*topology.Torus, config.System, error) {
 	tp, err := topology.NewTorus(m, n, k, tc)
 	if err != nil {
 		return nil, config.System{}, err
@@ -132,11 +140,13 @@ func torusSystem(m, n, k int, tc topology.TorusConfig, alg config.Algorithm) (*t
 	cfg.HorizontalRings = tc.HorizontalRings
 	cfg.VerticalRings = tc.VerticalRings
 	cfg.Algorithm = alg
+	cfg.Backend = backend
 	return tp, cfg, nil
 }
 
-// a2aSystem builds an alltoall topology plus a matching system config.
-func a2aSystem(m, n int, ac topology.A2AConfig, alg config.Algorithm) (*topology.A2A, config.System, error) {
+// a2aSystem builds an alltoall topology plus a matching system config on
+// the requested network backend.
+func a2aSystem(m, n int, ac topology.A2AConfig, alg config.Algorithm, backend config.Backend) (*topology.A2A, config.System, error) {
 	tp, err := topology.NewA2A(m, n, ac)
 	if err != nil {
 		return nil, config.System{}, err
@@ -147,6 +157,7 @@ func a2aSystem(m, n int, ac topology.A2AConfig, alg config.Algorithm) (*topology
 	cfg.LocalRings = ac.LocalRings
 	cfg.GlobalSwitches = ac.GlobalSwitches
 	cfg.Algorithm = alg
+	cfg.Backend = backend
 	return tp, cfg, nil
 }
 
@@ -156,12 +167,12 @@ func a2aSystem(m, n int, ac topology.A2AConfig, alg config.Algorithm) (*topology
 // sizes (§V-A).
 func Fig9(o Options) ([]*report.Table, error) {
 	torusTp, torusCfg, err := torusSystem(1, 8, 1,
-		topology.TorusConfig{LocalRings: 1, HorizontalRings: 4, VerticalRings: 1}, config.Baseline)
+		topology.TorusConfig{LocalRings: 1, HorizontalRings: 4, VerticalRings: 1}, config.Baseline, o.Backend)
 	if err != nil {
 		return nil, err
 	}
 	a2aTp, a2aCfg, err := a2aSystem(1, 8,
-		topology.A2AConfig{LocalRings: 1, GlobalSwitches: 7}, config.Baseline)
+		topology.A2AConfig{LocalRings: 1, GlobalSwitches: 7}, config.Baseline, o.Backend)
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +233,7 @@ func Fig10(o Options) ([]*report.Table, error) {
 	nShapes := len(shapes)
 	durs, err := parallel.Map(o.runner(), len(o.SweepSizes)*nShapes, func(i int) (eventq.Time, error) {
 		size, s := o.SweepSizes[i/nShapes], shapes[i%nShapes]
-		tp, cfg, err := torusSystem(s[0], s[1], s[2], topology.DefaultTorusConfig(), config.Baseline)
+		tp, cfg, err := torusSystem(s[0], s[1], s[2], topology.DefaultTorusConfig(), config.Baseline, o.Backend)
 		if err != nil {
 			return 0, err
 		}
@@ -271,7 +282,7 @@ func Fig11(o Options) ([]*report.Table, error) {
 		nVar := len(variants)
 		durs, err := parallel.Map(o.runner(), len(o.SweepSizes)*nVar, func(i int) (eventq.Time, error) {
 			size, v := o.SweepSizes[i/nVar], variants[i%nVar]
-			tp, cfg, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), v.alg)
+			tp, cfg, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), v.alg, o.Backend)
 			if err != nil {
 				return 0, err
 			}
@@ -325,7 +336,7 @@ func Fig12(o Options) ([]*report.Table, error) {
 	}
 	points, err := parallel.Map(o.runner(), len(shapes), func(i int) (point, error) {
 		s := shapes[i]
-		tp, cfg, err := torusSystem(s[0], s[1], s[2], topology.DefaultTorusConfig(), config.Enhanced)
+		tp, cfg, err := torusSystem(s[0], s[1], s[2], topology.DefaultTorusConfig(), config.Enhanced, o.Backend)
 		if err != nil {
 			return point{}, err
 		}

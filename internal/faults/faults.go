@@ -239,6 +239,15 @@ func Apply(p *Plan, inst *system.Instance) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	// Link-level fault machinery (degradation windows, outages, drops)
+	// lives in the packet backend; congestion-unaware timing under loss
+	// is not meaningful. Stragglers and retry are system-layer and would
+	// work anywhere, but a plan is all-or-nothing: reject early rather
+	// than silently apply half of it.
+	pktNet, ok := inst.Net.(*noc.Network)
+	if !ok {
+		return fmt.Errorf("faults: fault injection requires the packet backend (config.PacketBackend); the %v backend does not model faults", inst.Net.Backend())
+	}
 	links := inst.Topo.Links()
 	perLink := make(map[topology.LinkID]*noc.LinkFaults)
 	faultsFor := func(id topology.LinkID) *noc.LinkFaults {
@@ -281,7 +290,7 @@ func Apply(p *Plan, inst *system.Instance) error {
 	// independent either way.
 	for _, spec := range links {
 		if lf, ok := perLink[spec.ID]; ok {
-			inst.Net.SetLinkFaults(spec.ID, *lf, p.Seed)
+			pktNet.SetLinkFaults(spec.ID, *lf, p.Seed)
 		}
 	}
 	for _, s := range p.Stragglers {

@@ -56,6 +56,12 @@ type Message struct {
 	// retransmit protocol hangs off this hook; it is nil — and costs
 	// nothing — outside fault runs.
 	OnDropped func(*Message)
+	// Ctx, CtxA and CtxB are opaque sender context carried untouched by
+	// the network. They let OnDelivered be a shared top-level function
+	// (the sender recovers its state from the context) instead of a
+	// per-message closure, keeping the hot path allocation-free.
+	Ctx        any
+	CtxA, CtxB int32
 
 	// Injected is when Send was called.
 	Injected eventq.Time
@@ -233,7 +239,14 @@ type link struct {
 	// queuing is the system-layer "queue delay".
 	capPackets int
 
+	// queue[head:] is the FIFO of buffered packets. Popping advances head
+	// instead of re-slicing so the backing array's capacity is reused
+	// across the whole run — the naive queue = queue[1:] drain walks the
+	// array forward and forces a fresh allocation every time append hits
+	// the capacity edge, which dominated the simulator's allocation
+	// profile.
 	queue []*packet
+	head  int
 	// reserved counts buffer slots promised to packets in flight on the
 	// wire toward this link (credit-style flow control).
 	reserved int
@@ -316,6 +329,13 @@ const poisonBytes = -0x600DDEAD
 
 // SetPoisonFreeList toggles free-list poisoning (see Network.poison).
 func (n *Network) SetPoisonFreeList(on bool) { n.poison = on }
+
+// SetOnSend installs (or, with nil, clears) the per-message injection
+// observer — the system.Network interface form of the OnSend field.
+func (n *Network) SetOnSend(fn func(*Message)) { n.OnSend = fn }
+
+// Backend identifies this implementation in the backend duality.
+func (n *Network) Backend() config.Backend { return config.PacketBackend }
 
 // checkAlive panics if p was freed and not reallocated — a use-after-free.
 func (n *Network) checkAlive(p *packet, site string) {
@@ -430,18 +450,34 @@ func (n *Network) Send(msg *Message) {
 	}
 }
 
+// qlen is the number of buffered packets.
+func (l *link) qlen() int { return len(l.queue) - l.head }
+
+// qpush appends a packet, recycling the backing array's dead prefix once
+// the queue fully drains (the steady state between message bursts).
+func (l *link) qpush(p *packet) {
+	if l.head > 0 && l.head == len(l.queue) {
+		l.queue = l.queue[:0]
+		l.head = 0
+	}
+	l.queue = append(l.queue, p)
+	if n := l.qlen(); n > l.stats.PeakQueue {
+		l.stats.PeakQueue = n
+	}
+}
+
+// qpop retires the head packet.
+func (l *link) qpop() { l.head++ }
+
 // enqueueFromSource adds a freshly injected packet (no buffer limit).
 func (l *link) enqueueFromSource(p *packet) {
-	l.queue = append(l.queue, p)
-	if len(l.queue) > l.stats.PeakQueue {
-		l.stats.PeakQueue = len(l.queue)
-	}
+	l.qpush(p)
 	l.kick()
 }
 
 // hasSpace reports whether the buffer can take one more packet, counting
 // slots reserved for packets already in flight toward this link.
-func (l *link) hasSpace() bool { return len(l.queue)+l.reserved < l.capPackets }
+func (l *link) hasSpace() bool { return l.qlen()+l.reserved < l.capPackets }
 
 // acceptFromNetwork reserves a buffer slot and lands the packet in the
 // queue after the upstream wire latency plus one router hop.
@@ -458,10 +494,7 @@ func linkArrive(a, b any) {
 		l.net.checkAlive(p, "linkArrive")
 	}
 	l.reserved--
-	l.queue = append(l.queue, p)
-	if len(l.queue) > l.stats.PeakQueue {
-		l.stats.PeakQueue = len(l.queue)
-	}
+	l.qpush(p)
 	l.kick()
 }
 
@@ -469,7 +502,7 @@ func linkArrive(a, b any) {
 // inside an outage window does not start new serializations; the queue
 // holds and a deferred kick fires when the outage lifts.
 func (l *link) kick() {
-	if l.busy || l.blocked || len(l.queue) == 0 {
+	if l.busy || l.blocked || l.qlen() == 0 {
 		return
 	}
 	if f := l.fault; f != nil {
@@ -481,7 +514,7 @@ func (l *link) kick() {
 			return
 		}
 	}
-	p := l.queue[0]
+	p := l.queue[l.head]
 	if l.net.poison {
 		l.net.checkAlive(p, "kick")
 	}
@@ -595,7 +628,7 @@ func (l *link) advanced(p *packet) *packet {
 func (l *link) finishHead(p *packet) {
 	l.stats.Packets++
 	l.stats.Bytes += p.bytes
-	l.queue = l.queue[1:]
+	l.qpop()
 	l.busy = false
 	l.blocked = false
 	l.net.freePacket(p)
@@ -608,7 +641,7 @@ func (l *link) releaseWaiters() {
 	for len(l.waiters) > 0 && l.hasSpace() {
 		w := l.waiters[0]
 		l.waiters = l.waiters[1:]
-		p := w.queue[0]
+		p := w.queue[w.head]
 		w.stats.BlockedCycles += l.net.eng.Now() - w.blockStart
 		l.acceptFromNetwork(w.advanced(p), w.hopDelay())
 		// The waiting link's serializer was blocked, not re-run: retire
@@ -726,7 +759,7 @@ func (n *Network) UtilizationByClass(until eventq.Time) map[topology.LinkClass]C
 // Quiet reports whether no packets are queued or in flight on any link.
 func (n *Network) Quiet() bool {
 	for _, l := range n.links {
-		if l.busy || len(l.queue) > 0 || l.reserved > 0 {
+		if l.busy || l.qlen() > 0 || l.reserved > 0 {
 			return false
 		}
 	}
@@ -756,7 +789,7 @@ func (n *Network) DebugLinks() []LinkDebugState {
 		out[i] = LinkDebugState{
 			ID:       l.spec.ID,
 			Class:    l.spec.Class,
-			Queued:   len(l.queue),
+			Queued:   l.qlen(),
 			Reserved: l.reserved,
 			Waiters:  len(l.waiters),
 			Busy:     l.busy,

@@ -44,10 +44,17 @@ type Case struct {
 	Alg    config.Algorithm
 	Bytes  int64
 	Splits int
+	// Backend selects the network transport the case simulates on. The
+	// zero value is the packet backend, so existing corpora are unchanged;
+	// mapping a corpus to config.FastBackend reruns every relation on the
+	// congestion-unaware analytical backend. The minimizer never shrinks
+	// this field — switching transports would change what failed.
+	Backend config.Backend
 }
 
 func (c Case) String() string {
-	return fmt.Sprintf("{topo=%s op=%v alg=%v bytes=%d splits=%d}", c.Topo, c.Op, c.Alg, c.Bytes, c.Splits)
+	return fmt.Sprintf("{topo=%s op=%v alg=%v bytes=%d splits=%d backend=%v}",
+		c.Topo, c.Op, c.Alg, c.Bytes, c.Splits, c.Backend)
 }
 
 // diff renders the field-level difference from c to other ("" if equal).
@@ -67,6 +74,9 @@ func (c Case) diff(other Case) string {
 	}
 	if c.Splits != other.Splits {
 		parts = append(parts, fmt.Sprintf("splits: %d -> %d", c.Splits, other.Splits))
+	}
+	if c.Backend != other.Backend {
+		parts = append(parts, fmt.Sprintf("backend: %v -> %v", c.Backend, other.Backend))
 	}
 	out := ""
 	for i, p := range parts {
@@ -254,6 +264,7 @@ func simulate(c Case, o runOpts) (runResult, error) {
 	cfg := config.DefaultSystem()
 	cfg.Algorithm = c.Alg
 	cfg.PreferredSetSplits = c.Splits
+	cfg.Backend = c.Backend
 	if o.sys != nil {
 		o.sys(&cfg)
 	}

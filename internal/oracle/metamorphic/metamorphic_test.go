@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"astrasim/internal/config"
 )
 
 // The full registry must hold over the seeded corpus — this is the
@@ -16,6 +18,29 @@ func TestSuiteHoldsOnSeededCorpus(t *testing.T) {
 		t.Skip("metamorphic corpus is slow")
 	}
 	corpus := Corpus(42, 14)
+	failures, err := Run(Rules(), corpus, runtime.NumCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range failures {
+		t.Errorf("%s", f)
+	}
+}
+
+// The same registry must hold when the corpus runs on the
+// congestion-unaware fast backend: every relation (bandwidth scaling,
+// size scaling, symmetry, straggler monotonicity, algorithm dominance,
+// retry-noop, oracle exactness) is a transport-independent property of
+// the system layer, so a violation here isolates a fastnet bug.
+// Fault-dependent rules skip themselves (fault injection is packet-only).
+func TestSuiteHoldsOnSeededCorpusFastBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metamorphic corpus is slow")
+	}
+	corpus := Corpus(42, 14)
+	for i := range corpus {
+		corpus[i].Backend = config.FastBackend
+	}
 	failures, err := Run(Rules(), corpus, runtime.NumCPU())
 	if err != nil {
 		t.Fatal(err)

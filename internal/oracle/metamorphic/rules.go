@@ -177,6 +177,9 @@ func checkStragglerMonotone(c Case) error {
 // loss-free one. The fault seed derives from the case so the comparison
 // is reproducible.
 func checkDropRateMonotone(c Case) error {
+	if c.Backend != config.PacketBackend {
+		return nil // fault injection is packet-only; rule does not apply
+	}
 	if c.Bytes > 1<<20 {
 		c.Bytes = 1 << 20 // keep retransmit-heavy runs bounded
 	}

@@ -45,7 +45,8 @@ type chunkNodeState struct {
 	// done marks the node finished with the current phase.
 	done bool
 	// early buffers messages for steps this node has not reached yet (a
-	// faster peer can run ahead within the phase).
+	// faster peer can run ahead within the phase). Allocated lazily on
+	// the first early arrival — most node-phases never need it.
 	early map[int]int
 }
 
@@ -69,7 +70,7 @@ func (c *chunk) start() {
 // channelFor returns the chunk's channel within the phase's dimension
 // (its LSQ lane: one unidirectional ring or one global switch).
 func (c *chunk) channelFor(ph collectives.Phase) int {
-	for _, d := range c.sys.Topo.Dims() {
+	for _, d := range c.sys.dims {
 		if d.Dim == ph.Dim {
 			return c.idx % d.Channels
 		}
@@ -100,7 +101,7 @@ func (c *chunk) activate() {
 	c.coll.queueN[p+1]++
 	c.nodesDone = 0
 	for n := range c.nodes {
-		c.nodes[n] = chunkNodeState{early: make(map[int]int)}
+		c.nodes[n] = chunkNodeState{}
 	}
 	// Snapshot the node list: sends below may complete synchronously.
 	for n := range c.nodes {
@@ -137,21 +138,39 @@ func (c *chunk) sendStep(n topology.Node, p, s int) {
 // sendMsg injects one message and wires its delivery back into the chunk
 // state machine (after the destination NMU's endpoint delay, plus the
 // transport-layer processing for messages that crossed the scale-out
-// fabric).
+// fabric). The continuation rides on the message itself — Ctx carries
+// the chunk, CtxA/CtxB the phase and step — dispatched through shared
+// top-level callbacks, so the steady-state send path allocates nothing.
 func (c *chunk) sendMsg(src, dst topology.Node, p, s int, size int64, channel int, ph collectives.Phase) {
-	path := c.sys.Topo.PathLinks(ph.Dim, channel, src, dst)
-	var extra eventq.Time
-	if ph.Dim == topology.DimScaleOut {
-		extra = eventq.Time(c.sys.Cfg.TransportDelay)
-	}
-	msg := &noc.Message{
-		Src: src, Dst: dst, Bytes: size, Path: path,
-		OnDelivered: func(*noc.Message) {
-			c.sys.injectDone(src)
-			c.sys.endpointReceive(dst, extra, func() { c.onReceive(dst, p, s) })
-		},
-	}
+	msg := c.sys.allocMsg()
+	msg.Src, msg.Dst, msg.Bytes = src, dst, size
+	msg.Path = c.sys.pathLinks(ph.Dim, channel, src, dst)
+	msg.Ctx, msg.CtxA, msg.CtxB = c, int32(p), int32(s)
+	msg.OnDelivered = chunkMsgDelivered
 	c.sys.sendReliable(src, msg, c.coll)
+}
+
+// chunkMsgDelivered is the shared delivery callback for every collective
+// message: release the source's injection slot and enter the destination
+// NMU's endpoint pipeline.
+func chunkMsgDelivered(m *noc.Message) {
+	c := m.Ctx.(*chunk)
+	c.sys.injectDone(m.Src)
+	c.sys.endpointReceiveMsg(m)
+}
+
+// chunkEndpointDone is the eventq.CallFunc that fires when the
+// destination endpoint finishes processing message b: the message's
+// chunk advances, and the message object returns to the free list (on
+// fault-free runs — an armed retry protocol still references it).
+func chunkEndpointDone(a, b any) {
+	s, m := a.(*System), b.(*noc.Message)
+	c := m.Ctx.(*chunk)
+	dst, p, step := m.Dst, int(m.CtxA), int(m.CtxB)
+	if s.retry == nil {
+		s.freeMsg(m)
+	}
+	c.onReceive(dst, p, step)
 }
 
 // onReceive processes one delivered message at node n for step s of phase
@@ -166,6 +185,9 @@ func (c *chunk) onReceive(n topology.Node, p, s int) {
 		if s < st.step {
 			panic(fmt.Sprintf("system: chunk %d/%d node %d received stale step %d at step %d",
 				c.coll.ID, c.idx, n, s, st.step))
+		}
+		if st.early == nil {
+			st.early = make(map[int]int)
 		}
 		st.early[s]++
 		return

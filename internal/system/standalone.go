@@ -6,15 +6,17 @@ import (
 	"astrasim/internal/collectives"
 	"astrasim/internal/config"
 	"astrasim/internal/eventq"
+	"astrasim/internal/fastnet"
 	"astrasim/internal/noc"
 	"astrasim/internal/topology"
 )
 
-// Instance bundles a ready-to-run engine, network, and system layer.
+// Instance bundles a ready-to-run engine, network, and system layer. Net
+// is the backend sysCfg.Backend selected (packet-level noc by default).
 type Instance struct {
 	Eng  *eventq.Engine
 	Topo topology.Topology
-	Net  *noc.Network
+	Net  Network
 	Sys  *System
 }
 
@@ -25,10 +27,17 @@ type Instance struct {
 // when instances are built from parallel sweep workers.
 var InstanceHook func(*Instance)
 
-// NewInstance wires an engine, network and system layer over topo.
+// NewInstance wires an engine, network and system layer over topo,
+// selecting the network backend from sysCfg.Backend.
 func NewInstance(topo topology.Topology, sysCfg config.System, netCfg config.Network) (*Instance, error) {
 	eng := eventq.New()
-	net, err := noc.New(eng, topo, netCfg)
+	var net Network
+	var err error
+	if sysCfg.Backend == config.FastBackend {
+		net, err = fastnet.New(eng, topo, netCfg)
+	} else {
+		net, err = noc.New(eng, topo, netCfg)
+	}
 	if err != nil {
 		return nil, err
 	}

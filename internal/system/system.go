@@ -163,8 +163,11 @@ func (h *Handle) AvgPhaseResidence(i int) float64 {
 type System struct {
 	Eng  *eventq.Engine
 	Topo topology.Topology
-	Net  *noc.Network
-	Cfg  config.System
+	// Net is the transport backend (packet-level noc or analytical
+	// fastnet) selected by Cfg.Backend; the system layer drives both
+	// identically through the Network interface.
+	Net Network
+	Cfg config.System
 	// Tracer, when non-nil, records one queue span and one execution
 	// span per chunk-phase (Chrome trace format; see internal/trace).
 	Tracer *trace.Recorder
@@ -216,34 +219,92 @@ type System struct {
 	// p2pSeq spreads consecutive point-to-point sends across parallel
 	// physical links.
 	p2pSeq int
+	// dims caches Topo.Dims(): the topology is immutable, but most
+	// implementations build the slice fresh per call, and the chunk state
+	// machine consults it for every send.
+	dims []topology.DimInfo
+	// pathCache memoizes Topo.PathLinks per (dim, channel, src, dst).
+	// Paths are pure functions of the immutable topology and messages
+	// treat Path as read-only (retransmit clones already share it), so
+	// every message on the same lane shares one slice.
+	pathCache map[pathKey][]topology.LinkID
+	// msgFree recycles noc.Message objects on the collective hot path.
+	// Messages are returned only after their endpoint completion fires
+	// (nothing references them past that point) and never while a retry
+	// policy is armed (the retransmit protocol holds the failed attempt).
+	msgFree []*noc.Message
 }
 
-// injector is one NPU's NMU-side injection throttle.
+// pathKey identifies one cached collective path.
+type pathKey struct {
+	dim      topology.Dim
+	channel  int
+	src, dst topology.Node
+}
+
+// pathLinks returns the cached physical route for a collective lane.
+func (s *System) pathLinks(dim topology.Dim, channel int, src, dst topology.Node) []topology.LinkID {
+	k := pathKey{dim: dim, channel: channel, src: src, dst: dst}
+	if p, ok := s.pathCache[k]; ok {
+		return p
+	}
+	p := s.Topo.PathLinks(dim, channel, src, dst)
+	s.pathCache[k] = p
+	return p
+}
+
+// allocMsg returns a zeroed message from the free list (or a fresh one).
+func (s *System) allocMsg() *noc.Message {
+	if n := len(s.msgFree); n > 0 {
+		m := s.msgFree[n-1]
+		s.msgFree = s.msgFree[:n-1]
+		*m = noc.Message{}
+		return m
+	}
+	return &noc.Message{}
+}
+
+// freeMsg recycles a message whose delivery fully completed. Callers must
+// not hold references past this point.
+func (s *System) freeMsg(m *noc.Message) { s.msgFree = append(s.msgFree, m) }
+
+// injector is one NPU's NMU-side injection throttle. The deferred-send
+// queue holds the messages themselves (not closures), so throttled sends
+// cost no per-message allocation; queue[head:] is the live FIFO and the
+// backing array is recycled when it drains.
 type injector struct {
 	capacity int // 0 = unlimited (aggressive)
 	inFlight int
-	queue    []func()
+	queue    []*noc.Message
+	head     int
 }
 
-// inject runs send now if a slot is free, else queues it.
-func (s *System) inject(node topology.Node, send func()) {
+func (in *injector) qlen() int { return len(in.queue) - in.head }
+
+// inject sends msg now if a slot is free, else queues it.
+func (s *System) inject(node topology.Node, msg *noc.Message) {
 	in := &s.injectors[node]
 	if in.capacity == 0 || in.inFlight < in.capacity {
 		in.inFlight++
-		send()
+		s.Net.Send(msg)
 		return
 	}
-	in.queue = append(in.queue, send)
+	if in.head > 0 && in.head == len(in.queue) {
+		in.queue = in.queue[:0]
+		in.head = 0
+	}
+	in.queue = append(in.queue, msg)
 }
 
 // injectDone releases node's slot when a message is delivered, launching
 // the next queued send.
 func (s *System) injectDone(node topology.Node) {
 	in := &s.injectors[node]
-	if len(in.queue) > 0 {
-		next := in.queue[0]
-		in.queue = in.queue[1:]
-		next()
+	if in.head < len(in.queue) {
+		next := in.queue[in.head]
+		in.queue[in.head] = nil
+		in.head++
+		s.Net.Send(next)
 		return
 	}
 	in.inFlight--
@@ -314,7 +375,7 @@ func (s *System) sendReliable(src topology.Node, msg *noc.Message, h *Handle) {
 	if s.retry != nil {
 		s.armRetry(src, msg, h, 1)
 	}
-	s.inject(src, func() { s.Net.Send(msg) })
+	s.inject(src, msg)
 }
 
 // armRetry attaches loss recovery to one attempt of a message. On loss,
@@ -331,14 +392,15 @@ func (s *System) armRetry(src topology.Node, msg *noc.Message, h *Handle, attemp
 		}
 		s.injectDone(src)
 		s.Eng.Schedule(s.retry.rto(attempt), func() {
-			clone := &noc.Message{Src: m.Src, Dst: m.Dst, Bytes: m.Bytes, Path: m.Path, OnDelivered: m.OnDelivered}
+			clone := &noc.Message{Src: m.Src, Dst: m.Dst, Bytes: m.Bytes, Path: m.Path,
+				OnDelivered: m.OnDelivered, Ctx: m.Ctx, CtxA: m.CtxA, CtxB: m.CtxB}
 			s.retransmits++
 			s.retransmittedBytes += m.Bytes
 			if h != nil {
 				h.retransmits++
 			}
 			s.armRetry(src, clone, h, attempt+1)
-			s.inject(src, func() { s.Net.Send(clone) })
+			s.inject(src, clone)
 		})
 	}
 }
@@ -391,8 +453,8 @@ func (s *System) lsqFor(dim topology.Dim, channel, phaseIdx int) *lsq {
 	return q
 }
 
-// New builds a system layer over an existing network.
-func New(eng *eventq.Engine, topo topology.Topology, net *noc.Network, cfg config.System) (*System, error) {
+// New builds a system layer over an existing network backend.
+func New(eng *eventq.Engine, topo topology.Topology, net Network, cfg config.System) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -419,6 +481,8 @@ func New(eng *eventq.Engine, topo topology.Topology, net *noc.Network, cfg confi
 		endpointScale: scale,
 		endpointCarry: make([]float64, topo.NumNPUs()),
 		injectors:     injectors,
+		dims:          topo.Dims(),
+		pathCache:     make(map[pathKey][]topology.LinkID),
 	}, nil
 }
 
@@ -595,13 +659,12 @@ func (s *System) complete(h *Handle) {
 	}
 }
 
-// endpointReceive models the NMU: each received message occupies the
+// endpointDone models the NMU: each received message occupies the
 // destination endpoint for EndpointDelay cycles (plus extra, e.g. the
-// transport-layer processing of scale-out messages), serialized per node,
-// then fn runs.
-func (s *System) endpointReceive(node topology.Node, extra eventq.Time, fn func()) {
-	now := s.Eng.Now()
-	start := now
+// transport-layer processing of scale-out messages), serialized per
+// node. It returns the absolute completion time.
+func (s *System) endpointDone(node topology.Node, extra eventq.Time) eventq.Time {
+	start := s.Eng.Now()
 	if s.endpointBusy[node] > start {
 		start = s.endpointBusy[node]
 	}
@@ -613,7 +676,24 @@ func (s *System) endpointReceive(node topology.Node, extra eventq.Time, fn func(
 	s.endpointCarry[node] = exact - float64(cost)
 	done := start + cost
 	s.endpointBusy[node] = done
-	s.Eng.At(done, fn)
+	return done
+}
+
+// endpointReceive runs fn after node's NMU processes one message.
+func (s *System) endpointReceive(node topology.Node, extra eventq.Time, fn func()) {
+	s.Eng.At(s.endpointDone(node, extra), fn)
+}
+
+// endpointReceiveMsg is the closure-free endpointReceive for collective
+// messages: the continuation is chunkEndpointDone with the message as
+// its argument, scheduled through the engine's static-callback path.
+func (s *System) endpointReceiveMsg(m *noc.Message) {
+	c := m.Ctx.(*chunk)
+	var extra eventq.Time
+	if c.coll.phases[m.CtxA].Dim == topology.DimScaleOut {
+		extra = eventq.Time(s.Cfg.TransportDelay)
+	}
+	s.Eng.CallAt(s.endpointDone(m.Dst, extra), chunkEndpointDone, s, m)
 }
 
 // SendPointToPoint transmits bytes from src to dst over the shortest
@@ -678,7 +758,7 @@ func (s *System) DebugState() DebugState {
 	}
 	for i := range s.injectors {
 		st.InjectorsInFlight += s.injectors[i].inFlight
-		st.InjectorsQueued += len(s.injectors[i].queue)
+		st.InjectorsQueued += s.injectors[i].qlen()
 	}
 	return st
 }

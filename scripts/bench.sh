@@ -8,13 +8,20 @@
 #
 # Compare mode diffs a fresh run against the committed baseline
 # (BENCH_core.json at the repo root) and emits a GitHub Actions
-# `::warning::` annotation for every benchmark whose ns/op or allocs/op
-# regressed by more than 15%. Regressions warn, they do not fail: CI
+# `::warning::` annotation for every benchmark whose ns/op, B/op, or
+# allocs/op regressed by more than 15%. Regressions warn, they do not fail: CI
 # runners are noisy, and the committed baseline is the reviewed source of
 # truth that perf-sensitive PRs re-record deliberately.
 #
+# Large mode runs the LARGE set — the 16x16x16 (4096-NPU) all-reduce on
+# both network backends — and writes BENCH_large.{txt,json}. It is kept
+# out of compare mode and CI: the packet-mode run takes minutes per
+# iteration, which is the very cost the fast backend is measured against
+# (the recorded ratio lives in EXPERIMENTS.md).
+#
 # Usage:
 #   scripts/bench.sh [output-dir]         record (default output: repo root)
+#   scripts/bench.sh large [output-dir]   record the LARGE backend-duality set
 #   scripts/bench.sh compare [work-dir]   fresh run into work-dir (default:
 #                                         a temp dir), compare vs baseline
 #
@@ -32,6 +39,21 @@ BENCHTIME="${BENCHTIME:-3x}"
 # criteria track.
 CORE='BenchmarkAllReduce4x4x4_4MB|BenchmarkAllToAll_8Packages_1MB|BenchmarkGraphReplayPipeline'
 EVQ='BenchmarkScheduleRun'
+# The LARGE set: the fast-vs-packet backend speedup pair at 4096 NPUs.
+LARGE='BenchmarkAllReduce16x16x16_FastMode|BenchmarkAllReduce16x16x16_PacketMode'
+
+# tojson TXT JSON: convert "BenchmarkX  N  ns/op  B/op  allocs/op" lines
+# from TXT into one JSON record per benchmark in JSON.
+tojson() {
+  awk '
+    /^Benchmark/ && /allocs\/op/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      printf("%s{\"benchmark\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
+             (n++ ? ",\n  " : "[\n  "), name, $2, $3, $5, $7)
+    }
+    END { if (n) print "\n]"; else print "[]" }
+  ' "$1" > "$2"
+}
 
 # record DIR: run the core set and write BENCH_core.{txt,json} into DIR.
 record() {
@@ -43,17 +65,27 @@ record() {
     go test -run '^$' -bench "$CORE" -benchmem -benchtime "$BENCHTIME" .
     go test -run '^$' -bench "$EVQ" -benchmem -benchtime 100x ./internal/eventq/
   } | tee "$txt"
-  # Convert "BenchmarkX  N  ns/op  B/op  allocs/op" lines into JSON records.
-  awk '
-    /^Benchmark/ && /allocs\/op/ {
-      name = $1; sub(/-[0-9]+$/, "", name)
-      printf("%s{\"benchmark\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
-             (n++ ? ",\n  " : "[\n  "), name, $2, $3, $5, $7)
-    }
-    END { if (n) print "\n]"; else print "[]" }
-  ' "$txt" > "$json"
+  tojson "$txt" "$json"
   echo "wrote $txt and $json" >&2
 }
+
+# record_large DIR: run the LARGE set once per benchmark (the packet run
+# is minutes long; 1x keeps the pair tractable) into BENCH_large.{txt,json}.
+record_large() {
+  out="$1"
+  mkdir -p "$out"
+  txt="$out/BENCH_large.txt"
+  json="$out/BENCH_large.json"
+  go test -run '^$' -bench "$LARGE" -benchmem -benchtime "${BENCHTIME_LARGE:-1x}" \
+    -timeout 60m . | tee "$txt"
+  tojson "$txt" "$json"
+  echo "wrote $txt and $json" >&2
+}
+
+if [ "${1:-}" = "large" ]; then
+  record_large "${2:-.}"
+  exit 0
+fi
 
 if [ "${1:-}" != "compare" ]; then
   record "${1:-.}"
@@ -84,7 +116,11 @@ awk '
   /"benchmark":/ {
     name = val($0, "benchmark"); gsub(/"/, "", name)
     ns = val($0, "ns_per_op"); allocs = val($0, "allocs_per_op")
-    if (FNR == NR) { base_ns[name] = ns; base_allocs[name] = allocs; next }
+    bytes = val($0, "bytes_per_op")
+    if (FNR == NR) {
+      base_ns[name] = ns; base_allocs[name] = allocs; base_bytes[name] = bytes
+      next
+    }
     if (!(name in base_ns)) {
       printf("bench compare: %s has no baseline entry (re-record BENCH_core.json)\n", name)
       next
@@ -98,6 +134,11 @@ awk '
     if (base_allocs[name] + 0 > 0 && allocs + 0 > 1.15 * base_allocs[name]) {
       printf("::warning title=bench regression::%s allocs/op %d -> %d (+%.1f%%, threshold 15%%)\n",
              name, base_allocs[name], allocs, 100 * (allocs / base_allocs[name] - 1))
+      flagged++
+    }
+    if (base_bytes[name] + 0 > 0 && bytes + 0 > 1.15 * base_bytes[name]) {
+      printf("::warning title=bench regression::%s B/op %d -> %d (+%.1f%%, threshold 15%%)\n",
+             name, base_bytes[name], bytes, 100 * (bytes / base_bytes[name] - 1))
       flagged++
     }
   }
