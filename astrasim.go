@@ -28,8 +28,10 @@ package astrasim
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"astrasim/internal/audit"
+	"astrasim/internal/cli"
 	"astrasim/internal/collectives"
 	"astrasim/internal/compute"
 	"astrasim/internal/config"
@@ -121,12 +123,18 @@ const (
 
 // Platform is a configured simulation target: a logical topology, its
 // physical links, and the system/network parameters. Each Run*/Train call
-// simulates on a fresh instance, so a Platform is reusable and stateless
-// across runs.
+// simulates on a fresh instance, so a Platform is reusable across runs
+// and safe for concurrent use: Set* mutators and runs may interleave from
+// multiple goroutines, with each run snapshotting the configuration it
+// starts with.
 type Platform struct {
 	topo topology.Topology
-	sys  config.System
-	net  config.Network
+
+	// mu guards the mutable configuration below. The topology is
+	// immutable after construction and needs no lock.
+	mu  sync.RWMutex
+	sys config.System
+	net config.Network
 	// stragglers maps NPU -> endpoint slowdown factor, applied to every
 	// simulation instance this platform creates.
 	stragglers map[NodeID]float64
@@ -160,7 +168,9 @@ func (p *Platform) SetFaultPlan(plan *FaultPlan) error {
 			return err
 		}
 	}
+	p.mu.Lock()
 	p.faultPlan = plan
+	p.mu.Unlock()
 	return nil
 }
 
@@ -168,7 +178,11 @@ func (p *Platform) SetFaultPlan(plan *FaultPlan) error {
 // conservation across the three layers, quiescence at completion, and
 // packet free-list poisoning. A violated invariant turns the run into an
 // error. Off by default; the checks cost a few percent of runtime.
-func (p *Platform) SetAudit(on bool) { p.audit = on }
+func (p *Platform) SetAudit(on bool) {
+	p.mu.Lock()
+	p.audit = on
+	p.mu.Unlock()
+}
 
 // Backend selects the network transport implementation.
 type Backend = config.Backend
@@ -188,24 +202,45 @@ func ParseBackend(s string) (Backend, error) { return config.ParseBackend(s) }
 // SetBackend selects the network backend for every subsequent run on this
 // platform. FastBackend is incompatible with a fault plan (fault injection
 // is packet-only); the conflict is reported when the next run starts.
-func (p *Platform) SetBackend(b Backend) { p.sys.Backend = b }
+func (p *Platform) SetBackend(b Backend) {
+	p.mu.Lock()
+	p.sys.Backend = b
+	p.mu.Unlock()
+}
 
 // instance builds a fresh wired simulation with the platform's fault
-// injections applied. The auditor is nil unless SetAudit(true).
+// injections applied. The auditor is nil unless SetAudit(true). The
+// platform configuration is snapshotted under the read lock, so a run
+// observes a consistent view even if Set* mutators race with it.
 func (p *Platform) instance() (*system.Instance, *audit.Auditor, error) {
-	inst, err := system.NewInstance(p.topo, p.sys, p.net)
+	p.mu.RLock()
+	sys, net := p.sys, p.net
+	var stragglers map[NodeID]float64
+	if len(p.stragglers) > 0 {
+		stragglers = make(map[NodeID]float64, len(p.stragglers))
+		for node, factor := range p.stragglers {
+			stragglers[node] = factor
+		}
+	}
+	auditOn := p.audit
+	plan := p.faultPlan
+	p.mu.RUnlock()
+
+	inst, err := system.NewInstance(p.topo, sys, net)
 	if err != nil {
 		return nil, nil, err
 	}
-	for node, factor := range p.stragglers {
-		inst.Sys.SetNodeStragglerFactor(node, factor)
+	for node, factor := range stragglers {
+		if err := inst.Sys.SetNodeStragglerFactor(node, factor); err != nil {
+			return nil, nil, err
+		}
 	}
 	var aud *audit.Auditor
-	if p.audit {
+	if auditOn {
 		aud = audit.Attach(inst.Sys, inst.Net)
 	}
-	if p.faultPlan != nil {
-		if err := faults.Apply(p.faultPlan, inst); err != nil {
+	if plan != nil {
+		if err := faults.Apply(plan, inst); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -223,12 +258,27 @@ func auditErr(aud *audit.Auditor) error {
 
 // SetStraggler marks one NPU as a straggler whose endpoint (NMU)
 // processing is factor times slower in every subsequent run — the
-// fault-injection hook for resilience studies. Factor 1 clears it.
-func (p *Platform) SetStraggler(node NodeID, factor float64) {
+// fault-injection hook for resilience studies. Factor 1 clears it. The
+// node must exist on this platform's topology and the factor must be
+// positive; both arrive from user input, so violations are errors.
+func (p *Platform) SetStraggler(node NodeID, factor float64) error {
+	if node < 0 || int(node) >= p.topo.NumNPUs() {
+		return fmt.Errorf("astrasim: straggler node %d out of range (%d NPUs)", node, p.topo.NumNPUs())
+	}
+	if factor <= 0 {
+		return fmt.Errorf("astrasim: straggler factor must be positive, got %v", factor)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if factor == 1 {
+		delete(p.stragglers, node)
+		return nil
+	}
 	if p.stragglers == nil {
 		p.stragglers = make(map[NodeID]float64)
 	}
 	p.stragglers[node] = factor
+	return nil
 }
 
 // Option customizes a Platform.
@@ -398,6 +448,31 @@ func NewSwitchedPlatform(local, packages int, opts ...Option) (*Platform, error)
 // platform.
 func WithLocalSwitches(n int) Option {
 	return func(o *platformOpts) { o.localSwitches = n }
+}
+
+// NewPlatformFromSpec builds a platform from a textual topology spec —
+// the grammar shared by the CLI tools and the astrasimd service:
+//
+//	"MxNxK"        hierarchical 3D torus (local x horizontal x vertical)
+//	"MxA1x...xAd"  N-dimensional torus for d != 2 inter axes
+//	"a2a:MxN"      hierarchical alltoall
+//	"sw:MxN"       switch-based (NVSwitch-style) scale-up
+//	"so:MxNxK/P"   P pods of an MxNxK torus over a scale-out spine
+//
+// Options apply exactly as for the typed constructors (WithRings,
+// WithGlobalSwitches, WithBackend, ...).
+func NewPlatformFromSpec(spec string, opts ...Option) (*Platform, error) {
+	o := buildOpts(opts)
+	topo, err := cli.BuildTopology(spec, cli.TopologyOptions{
+		LocalRings:      o.localRings,
+		HorizontalRings: o.horizontalRings,
+		VerticalRings:   o.verticalRings,
+		GlobalSwitches:  o.switches,
+	}, &o.sys)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{topo: topo, sys: o.sys, net: o.net}, nil
 }
 
 // NewAllToAllPlatform builds an MxN hierarchical alltoall platform: M NPUs

@@ -180,7 +180,9 @@ func TestPlatformStragglerInjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.SetStraggler(3, 50)
+	if err := p.SetStraggler(3, 50); err != nil {
+		t.Fatal(err)
+	}
 	slow, err := p.RunCollective(astrasim.AllReduce, 256<<10)
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +190,9 @@ func TestPlatformStragglerInjection(t *testing.T) {
 	if slow.Duration() <= nominal.Duration() {
 		t.Errorf("straggler run %d not slower than nominal %d", slow.Duration(), nominal.Duration())
 	}
-	p.SetStraggler(3, 1)
+	if err := p.SetStraggler(3, 1); err != nil {
+		t.Fatal(err)
+	}
 	cleared, err := p.RunCollective(astrasim.AllReduce, 256<<10)
 	if err != nil {
 		t.Fatal(err)

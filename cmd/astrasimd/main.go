@@ -1,0 +1,65 @@
+// Command astrasimd is the simulation-as-a-service daemon: a long-
+// running HTTP/JSON server (internal/service) that accepts config +
+// workload/graph + fault-plan submissions, runs them on a priority
+// worker pool, and serves content-addressed cached results — identical
+// submissions replay instantly, concurrent duplicates collapse into one
+// run.
+//
+// Usage:
+//
+//	astrasimd [-addr :8080] [-workers N] [-cache-entries N]
+//	          [-quota-rate R] [-quota-burst N] [-max-body-bytes N]
+//
+// Submit a job:
+//
+//	curl -s localhost:8080/v1/jobs -d '{
+//	  "topology": "4x4x4",
+//	  "backend": "fast",
+//	  "collective": {"op": "allreduce", "bytes": 4194304}
+//	}'
+//
+// The response carries the job's content address; resubmitting the same
+// body returns the cached result byte for byte (X-Astrasim-Cache: hit).
+// See DESIGN.md §12 for the API and scheme.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"astrasim/internal/service"
+)
+
+func main() {
+	fs := flag.NewFlagSet("astrasimd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "simulation worker goroutines (0 = all CPUs)")
+	cacheEntries := fs.Int("cache-entries", 4096, "content-addressed result cache capacity")
+	quotaRate := fs.Float64("quota-rate", 0, "per-tenant token refill rate in runs/second (0 = quotas off)")
+	quotaBurst := fs.Int("quota-burst", 8, "per-tenant token bucket capacity")
+	maxBody := fs.Int64("max-body-bytes", 8<<20, "maximum submission body size in bytes")
+	_ = fs.Parse(os.Args[1:])
+
+	srv := service.New(service.Config{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		QuotaRate:    *quotaRate,
+		QuotaBurst:   *quotaBurst,
+		MaxBodyBytes: *maxBody,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "astrasimd: listening on %s\n", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "astrasimd: %v\n", err)
+		os.Exit(1)
+	}
+}

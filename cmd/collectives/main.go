@@ -197,7 +197,9 @@ func main() {
 		if o.plan != nil {
 			for _, s := range o.plan.Stragglers {
 				if s.Node < topo.NumNPUs() {
-					model.SetNodeStragglerFactor(topology.Node(s.Node), s.Factor)
+					if err := model.SetNodeStragglerFactor(topology.Node(s.Node), s.Factor); err != nil {
+						fatal(fmt.Errorf("-oracle: %w", err))
+					}
 				}
 			}
 			if len(o.plan.Degrades)+len(o.plan.Outages)+len(o.plan.Drops) > 0 {

@@ -109,6 +109,15 @@ type serVal struct {
 	carry  float64
 }
 
+// serCacheMaxEntries bounds serCache. Symmetric workloads revisit a small
+// carry orbit, so in practice the cache stays tiny; the bound only bites
+// on adversarial traffic (e.g. thousands of distinct message sizes in one
+// run), where it caps memory in long-lived processes. When full, the
+// whole map is dropped and rebuilt — a deterministic policy, and safe
+// because a miss just re-runs the loop, whose output is bit-identical to
+// the cached value.
+const serCacheMaxEntries = 1 << 16
+
 // fpkt is one in-flight packet on a multi-hop path. last marks the
 // message's final packet: FIFO links keep a message's packets in order, so
 // only the final packet's last-hop arrival decides delivery.
@@ -169,6 +178,12 @@ func New(eng *eventq.Engine, topo topology.Topology, p config.Network) (*Network
 		case topology.ScaleOutLink:
 			l.effBW = p.ScaleOutLinkBandwidth * p.ScaleOutLinkEfficiency
 			l.latency = eventq.Time(p.ScaleOutLinkLatency)
+		default:
+			// A link class without configured bandwidth/latency/packet-size
+			// parameters would serialize at rate zero; refuse at
+			// construction instead of diverging (or panicking in
+			// packetSizeFor) mid-simulation.
+			return nil, fmt.Errorf("fastnet: link %d has class %v with no configured network parameters", spec.ID, spec.Class)
 		}
 		n.links = append(n.links, l)
 	}
@@ -202,6 +217,9 @@ func (n *Network) packetSizeFor(class topology.LinkClass) int {
 	case topology.ScaleOutLink:
 		return n.params.ScaleOutPacketSize
 	}
+	// Provably-internal invariant: New rejects topologies carrying any
+	// link class not enumerated here, so no user-supplied configuration
+	// can reach this panic.
 	panic(fmt.Sprintf("fastnet: no packet size configured for link class %v", class))
 }
 
@@ -265,6 +283,9 @@ func (n *Network) Send(msg *noc.Message) {
 				finish += first.serCycles(b)
 			}
 			v = serVal{cycles: finish - start, carry: first.serCarry}
+			if len(n.serCache) >= serCacheMaxEntries {
+				n.serCache = make(map[serKey]serVal)
+			}
 			n.serCache[key] = v
 		}
 		finish := start + v.cycles

@@ -290,12 +290,16 @@ func Apply(p *Plan, inst *system.Instance) error {
 	// independent either way.
 	for _, spec := range links {
 		if lf, ok := perLink[spec.ID]; ok {
-			pktNet.SetLinkFaults(spec.ID, *lf, p.Seed)
+			if err := pktNet.SetLinkFaults(spec.ID, *lf, p.Seed); err != nil {
+				return err
+			}
 		}
 	}
 	for _, s := range p.Stragglers {
 		if s.Node < inst.Topo.NumNPUs() {
-			inst.Sys.SetNodeStragglerFactor(topology.Node(s.Node), s.Factor)
+			if err := inst.Sys.SetNodeStragglerFactor(topology.Node(s.Node), s.Factor); err != nil {
+				return err
+			}
 		}
 	}
 	if p.Retry != nil {

@@ -369,6 +369,12 @@ func New(eng *eventq.Engine, topo topology.Topology, p config.Network) (*Network
 			l.effBW = p.ScaleOutLinkBandwidth * p.ScaleOutLinkEfficiency
 			l.latency = eventq.Time(p.ScaleOutLinkLatency)
 			l.capPackets = bufferPackets(p.VCsPerVNet, p.BuffersPerVC, flitBytes, p.ScaleOutPacketSize)
+		default:
+			// A link class without configured bandwidth/latency/packet-size
+			// parameters would serialize at rate zero; refuse at
+			// construction instead of diverging (or panicking in
+			// PacketSizeFor) mid-simulation.
+			return nil, fmt.Errorf("noc: link %d has class %v with no configured network parameters", spec.ID, spec.Class)
 		}
 		n.links = append(n.links, l)
 	}
@@ -386,7 +392,10 @@ func bufferPackets(vcs, buffersPerVC, flitBytes, packetSize int) int {
 
 // PacketSizeFor returns the configured packet size for a link class. The
 // switch is deliberately exhaustive: a new link class must be given its
-// own packet size here, not silently inherit the inter-package one.
+// own packet size here, not silently inherit the inter-package one. The
+// panic is a provably-internal invariant: New rejects topologies carrying
+// any link class not enumerated here, so no user-supplied configuration
+// can reach it.
 func (n *Network) PacketSizeFor(class topology.LinkClass) int {
 	switch class {
 	case topology.IntraPackage:
@@ -684,29 +693,35 @@ func (n *Network) ScaleLinkBandwidth(id topology.LinkID, factor float64) {
 // a drop probability whose per-packet decisions derive deterministically
 // from seed. Call before the traffic that should observe the faults.
 // Windows must be well-formed (Start < End), degrade factors positive,
-// and DropProb within [0, 1).
-func (n *Network) SetLinkFaults(id topology.LinkID, f LinkFaults, seed uint64) {
+// and DropProb within [0, 1); a malformed configuration is returned as an
+// error so fault state reachable from user-supplied plans can never take
+// a long-running process down.
+func (n *Network) SetLinkFaults(id topology.LinkID, f LinkFaults, seed uint64) error {
+	if id < 0 || int(id) >= len(n.links) {
+		return fmt.Errorf("noc: link %d out of range (%d links)", id, len(n.links))
+	}
 	for _, d := range f.Degrades {
 		if d.Factor <= 0 {
-			panic(fmt.Sprintf("noc: degrade factor must be positive, got %v", d.Factor))
+			return fmt.Errorf("noc: degrade factor must be positive, got %v", d.Factor)
 		}
 		if d.Start >= d.End {
-			panic(fmt.Sprintf("noc: degrade window [%d,%d) is empty", d.Start, d.End))
+			return fmt.Errorf("noc: degrade window [%d,%d) is empty", d.Start, d.End)
 		}
 	}
 	for _, w := range f.Outages {
 		if w.Start >= w.End {
-			panic(fmt.Sprintf("noc: outage window [%d,%d) is empty", w.Start, w.End))
+			return fmt.Errorf("noc: outage window [%d,%d) is empty", w.Start, w.End)
 		}
 	}
 	if f.DropProb < 0 || f.DropProb >= 1 {
-		panic(fmt.Sprintf("noc: drop probability must be in [0,1), got %v", f.DropProb))
+		return fmt.Errorf("noc: drop probability must be in [0,1), got %v", f.DropProb)
 	}
 	if len(f.Degrades) == 0 && len(f.Outages) == 0 && f.DropProb == 0 {
 		n.links[id].fault = nil
-		return
+		return nil
 	}
 	n.links[id].fault = &linkFault{LinkFaults: f, seed: seed}
+	return nil
 }
 
 // DropStats reports the fault-injection loss totals for the whole run.

@@ -132,7 +132,9 @@ func checkRingRotationInvariance(c Case) error {
 	}
 	straggle := func(node topology.Node) runOpts {
 		return runOpts{inst: func(inst *system.Instance) {
-			inst.Sys.SetNodeStragglerFactor(node, 5)
+			if err := inst.Sys.SetNodeStragglerFactor(node, 5); err != nil {
+				panic(err)
+			}
 		}}
 	}
 	at0, err := simulate(c, straggle(0))
@@ -155,7 +157,9 @@ func checkRingRotationInvariance(c Case) error {
 func checkStragglerMonotone(c Case) error {
 	straggle := func(factor float64) runOpts {
 		return runOpts{inst: func(inst *system.Instance) {
-			inst.Sys.SetNodeStragglerFactor(0, factor)
+			if err := inst.Sys.SetNodeStragglerFactor(0, factor); err != nil {
+				panic(err)
+			}
 		}}
 	}
 	mild, err := simulate(c, straggle(2))

@@ -228,12 +228,18 @@ func NewModel(topo topology.Topology, sysCfg config.System, netCfg config.Networ
 }
 
 // SetNodeStragglerFactor rescales one node's endpoint service time, the
-// oracle-side mirror of system.System.SetNodeStragglerFactor.
-func (m *Model) SetNodeStragglerFactor(n topology.Node, factor float64) {
+// oracle-side mirror of system.System.SetNodeStragglerFactor. Like its
+// mirror it returns errors — node and factor arrive from user-supplied
+// plans.
+func (m *Model) SetNodeStragglerFactor(n topology.Node, factor float64) error {
+	if n < 0 || int(n) >= len(m.epScale) {
+		return fmt.Errorf("oracle: straggler node %d out of range (%d NPUs)", n, len(m.epScale))
+	}
 	if factor <= 0 {
-		panic(fmt.Sprintf("oracle: straggler factor must be positive, got %v", factor))
+		return fmt.Errorf("oracle: straggler factor must be positive, got %v", factor)
 	}
 	m.epScale[n] = factor
+	return nil
 }
 
 // chunkSizes mirrors the system layer's set splitting: PreferredSetSplits

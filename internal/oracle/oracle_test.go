@@ -202,7 +202,9 @@ func TestStragglerSlowsPrediction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow.SetNodeStragglerFactor(3, 10)
+	if err := slow.SetNodeStragglerFactor(3, 10); err != nil {
+		t.Fatal(err)
+	}
 	for _, op := range []collectives.Op{collectives.AllReduce, collectives.AllToAll} {
 		b, err := base.Predict(op, 1<<20)
 		if err != nil {

@@ -1,0 +1,141 @@
+package parallel
+
+// Pool is the long-lived counterpart to Runner: a daemon-style worker
+// pool accepting jobs one at a time, each with a priority. Runner's
+// Map/ForEach serve batch sweeps whose job set is known up front; a
+// service accepting submissions over time needs the dual — submit now,
+// run when a worker frees up, with urgent jobs overtaking queued bulk
+// work.
+//
+// Scheduling is deterministic given a submission history: workers take
+// the highest-priority pending job, breaking ties by submission order
+// (FIFO within a priority). Jobs are opaque funcs; panics are recovered
+// and returned to the submitter's completion callback rather than
+// killing the worker, so one bad job cannot take the pool down.
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("parallel: pool is closed")
+
+// poolJob is one queued unit of work.
+type poolJob struct {
+	priority int
+	seq      uint64 // submission counter: FIFO among equal priorities
+	run      func()
+}
+
+// jobHeap orders by (priority desc, seq asc).
+type jobHeap []*poolJob
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*poolJob)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// Pool runs submitted jobs on a fixed set of worker goroutines, highest
+// priority first. Safe for concurrent use.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  jobHeap
+	seq    uint64
+	closed bool
+	wg     sync.WaitGroup
+
+	workers int
+}
+
+// NewPool starts a pool with the given number of workers (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers reports the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Pending reports the number of queued (not yet started) jobs.
+func (p *Pool) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Submit queues run at the given priority (higher runs first; equal
+// priorities run in submission order). It returns immediately; run
+// executes on a pool worker. The job func owns its panic handling —
+// Submit callers that need panic isolation wrap run themselves (the
+// service job runner does).
+func (p *Pool) Submit(priority int, run func()) error {
+	if run == nil {
+		return errors.New("parallel: nil job")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	heap.Push(&p.queue, &poolJob{priority: priority, seq: p.seq, run: run})
+	p.seq++
+	p.cond.Signal()
+	return nil
+}
+
+// Close stops accepting submissions, runs every already-queued job, and
+// waits for the workers to drain. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			// closed and drained
+			p.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&p.queue).(*poolJob)
+		p.mu.Unlock()
+		j.run()
+	}
+}

@@ -1,0 +1,96 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPoolRunsEverything submits many jobs and asserts each runs exactly
+// once and Close drains the queue.
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4)
+	const n = 200
+	var mu sync.Mutex
+	ran := make(map[int]int)
+	for i := 0; i < n; i++ {
+		i := i
+		if err := p.Submit(0, func() {
+			mu.Lock()
+			ran[i]++
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if len(ran) != n {
+		t.Fatalf("%d of %d jobs ran", len(ran), n)
+	}
+	for i, c := range ran {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestPoolPriorityOrder holds the single worker on a gate job, queues
+// jobs at mixed priorities, and asserts execution order: priority
+// descending, FIFO within a priority.
+func TestPoolPriorityOrder(t *testing.T) {
+	p := NewPool(1)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(0, func() { close(started); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker is busy; everything below queues up
+
+	var mu sync.Mutex
+	var order []string
+	add := func(name string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+		}
+	}
+	for _, j := range []struct {
+		name string
+		pri  int
+	}{
+		{"low-1", 1}, {"high-1", 10}, {"low-2", 1}, {"mid-1", 5}, {"high-2", 10},
+	} {
+		if err := p.Submit(j.pri, add(j.name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	p.Close()
+
+	want := []string{"high-1", "high-2", "mid-1", "low-1", "low-2"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestPoolSubmitAfterClose pins the closed-pool error.
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	if err := p.Submit(0, func() {}); err != ErrPoolClosed {
+		t.Fatalf("Submit after Close returned %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestPoolCloseIdempotent ensures double Close does not deadlock or
+// panic.
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close()
+}

@@ -1,0 +1,75 @@
+package service
+
+// Content-addressed response cache. Keys are submission hashes
+// (submission.go), values are complete serialized result payloads; a
+// hit replays the stored bytes verbatim, which is sound because the
+// simulator is deterministic — rerunning an identical submission would
+// reproduce the payload bit for bit. Bounded LRU: a long-lived daemon
+// serving arbitrary traffic must not grow without limit.
+
+import (
+	"container/list"
+	"sync"
+)
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// resultCache is a mutex-guarded LRU over finished result payloads.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+func newResultCache(maxEntries int) *resultCache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &resultCache{
+		max:   maxEntries,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached payload and refreshes its recency.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores a payload, evicting the least recently used entry beyond
+// the bound. Storing an existing key refreshes it (the bytes are
+// necessarily identical — deterministic simulation).
+func (c *resultCache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the resident entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

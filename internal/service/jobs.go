@@ -1,0 +1,164 @@
+package service
+
+// Job lifecycle. A job is one content-addressed simulation run;
+// concurrent identical submissions attach to the same job
+// (single-flight), so N clients asking the same question pay for one
+// answer. Jobs run on the shared priority pool with a recover backstop:
+// a panicking run fails its job with a 500, it never takes the daemon
+// down.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"astrasim"
+)
+
+// job states.
+const (
+	stateQueued  = "queued"
+	stateRunning = "running"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+type job struct {
+	id       string
+	kind     string
+	priority int
+
+	mu    sync.Mutex
+	state string
+	// body is the serialized result payload once done.
+	body []byte
+	// status and errMsg describe a failure (failed state only).
+	status int
+	errMsg string
+	// started closes on the queued→running edge, done on reaching a
+	// terminal state; both support select-based waiting (SSE, wait=1).
+	started chan struct{}
+	done    chan struct{}
+	// attached counts submissions collapsed into this run (stats).
+	attached int
+}
+
+func newJob(id, kind string, priority int) *job {
+	return &job{
+		id:       id,
+		kind:     kind,
+		priority: priority,
+		state:    stateQueued,
+		started:  make(chan struct{}),
+		done:     make(chan struct{}),
+		attached: 1,
+	}
+}
+
+func (j *job) run() {
+	j.mu.Lock()
+	j.state = stateRunning
+	j.mu.Unlock()
+	close(j.started)
+}
+
+func (j *job) complete(body []byte) {
+	j.mu.Lock()
+	j.state = stateDone
+	j.body = body
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *job) fail(status int, msg string) {
+	j.mu.Lock()
+	j.state = stateFailed
+	j.status = status
+	j.errMsg = msg
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// snapshot returns the fields a status response needs, consistently.
+func (j *job) snapshot() (state string, body []byte, status int, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.body, j.status, j.errMsg
+}
+
+// collectiveResult is the serialized payload of a "collective" job.
+type collectiveResult struct {
+	Kind               string `json:"kind"`
+	Topology           string `json:"topology"`
+	Op                 string `json:"op"`
+	Bytes              int64  `json:"bytes"`
+	DurationCycles     uint64 `json:"duration_cycles"`
+	IntraPackageBytes  int64  `json:"intra_package_bytes"`
+	InterPackageBytes  int64  `json:"inter_package_bytes"`
+	ScaleOutBytes      int64  `json:"scale_out_bytes"`
+	DroppedPackets     uint64 `json:"dropped_packets"`
+	RetransmittedBytes int64  `json:"retransmitted_bytes"`
+}
+
+// trainResult is the serialized payload of a "train" or "graph" job.
+type trainResult struct {
+	Kind              string  `json:"kind"`
+	Topology          string  `json:"topology"`
+	TotalCycles       uint64  `json:"total_cycles"`
+	Passes            int     `json:"passes"`
+	ComputeCycles     uint64  `json:"compute_cycles"`
+	TotalCommCycles   uint64  `json:"total_comm_cycles"`
+	ExposedCommCycles uint64  `json:"exposed_comm_cycles"`
+	ExposedRatio      float64 `json:"exposed_ratio"`
+}
+
+// execute runs a compiled submission to completion and returns the
+// result payload. Pure function of the compiled job — determinism is
+// what makes the payload cacheable.
+func execute(c *compiled) ([]byte, error) {
+	switch c.kind {
+	case "collective":
+		run, err := c.platform.RunCollectiveDetailed(c.op, c.bytes)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(collectiveResult{
+			Kind:               c.kind,
+			Topology:           c.platform.Name(),
+			Op:                 c.op.String(),
+			Bytes:              c.bytes,
+			DurationCycles:     uint64(run.Duration()),
+			IntraPackageBytes:  run.IntraPackageBytes,
+			InterPackageBytes:  run.InterPackageBytes,
+			ScaleOutBytes:      run.ScaleOutBytes,
+			DroppedPackets:     run.DroppedPackets,
+			RetransmittedBytes: run.RetransmittedBytes,
+		})
+	case "train":
+		res, err := c.platform.Train(c.def, c.passes)
+		if err != nil {
+			return nil, err
+		}
+		return marshalTraining(c, res)
+	case "graph":
+		res, err := c.platform.RunGraph(c.graph)
+		if err != nil {
+			return nil, err
+		}
+		return marshalTraining(c, res)
+	}
+	return nil, fmt.Errorf("service: unknown job kind %q", c.kind)
+}
+
+func marshalTraining(c *compiled, res astrasim.TrainingResult) ([]byte, error) {
+	return json.Marshal(trainResult{
+		Kind:              c.kind,
+		Topology:          c.platform.Name(),
+		TotalCycles:       uint64(res.TotalCycles),
+		Passes:            res.Passes,
+		ComputeCycles:     res.TotalCompute(),
+		TotalCommCycles:   res.TotalComm(),
+		ExposedCommCycles: res.TotalExposed(),
+		ExposedRatio:      res.ExposedRatio(),
+	})
+}

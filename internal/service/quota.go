@@ -1,0 +1,79 @@
+package service
+
+// Per-tenant token-bucket quotas. Each API key owns a bucket refilled
+// at rate tokens/second up to burst; starting a new simulation costs
+// one token. Cache hits and single-flight attachments are free — the
+// whole point of content addressing is that duplicate work costs the
+// fleet nothing, so it costs the tenant nothing either.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxBuckets bounds the tenant map: API keys are client-chosen strings,
+// so an adversary could otherwise grow it without limit. When full,
+// fully-refilled buckets (indistinguishable from fresh ones) are
+// dropped; if none are, the map is at its working-set size and the new
+// tenant is admitted with a fresh bucket anyway, trading a bounded
+// overshoot for never denying service on bookkeeping grounds.
+const maxBuckets = 65536
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+type quotas struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*bucket
+}
+
+// newQuotas builds the quota table. rate <= 0 disables quotas (every
+// Allow succeeds): the single-user dev-loop default.
+func newQuotas(rate float64, burst int) *quotas {
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotas{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// Allow spends one token from key's bucket. When the bucket is empty it
+// reports false plus the wait until a token accrues — the Retry-After
+// value.
+func (q *quotas) Allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if q.rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, exists := q.buckets[key]
+	if !exists {
+		if len(q.buckets) >= maxBuckets {
+			q.pruneLocked(now)
+		}
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[key] = b
+	} else {
+		b.tokens = math.Min(q.burst, b.tokens+q.rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration(math.Ceil((1-b.tokens)/q.rate)) * time.Second
+}
+
+// pruneLocked drops buckets that have refilled completely; their state
+// is identical to a fresh bucket, so forgetting them is lossless.
+func (q *quotas) pruneLocked(now time.Time) {
+	for k, b := range q.buckets {
+		if b.tokens+q.rate*now.Sub(b.last).Seconds() >= q.burst {
+			delete(q.buckets, k)
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package service
+
+// Submission schema and validation. Everything a client can send is
+// checked here, before any simulation state exists: the submission
+// either compiles into a runnable job or is rejected with a 4xx naming
+// the offending field. Validation reuses the same parsers as the CLI
+// tools (internal/cli topology grammar, config token parsers, the
+// faults/graph/workload loaders), so the service accepts exactly the
+// configuration language the rest of the repo speaks.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"astrasim"
+	"astrasim/internal/collectives"
+	"astrasim/internal/config"
+)
+
+// CollectiveSpec asks for one collective operation, the bandwidth-test
+// microbenchmark of cmd/collectives.
+type CollectiveSpec struct {
+	// Op is reducescatter|allgather|allreduce|alltoall.
+	Op    string `json:"op"`
+	Bytes int64  `json:"bytes"`
+}
+
+// WorkloadSpec asks for an end-to-end training simulation: either a
+// built-in model or an inline Fig. 8-format definition.
+type WorkloadSpec struct {
+	// Model is resnet50|vgg16|bertlarge|transformer|dlrm (exclusive
+	// with Text).
+	Model string `json:"model,omitempty"`
+	Batch int    `json:"batch,omitempty"`
+	// SeqLen applies to the sequence models (bertlarge, transformer).
+	SeqLen int `json:"seq_len,omitempty"`
+	// Text is an inline workload definition in the Fig. 8 format.
+	Text string `json:"text,omitempty"`
+	// Passes is the number of forward/backward passes (default 1).
+	Passes int `json:"passes,omitempty"`
+}
+
+// Submission is the POST /v1/jobs request body. Exactly one of
+// Collective, Workload, Graph selects the job kind. Priority orders the
+// queue (higher first) and is excluded from the content hash — the same
+// simulation at a different priority is the same result.
+type Submission struct {
+	// Topology is the shared spec grammar: "MxNxK", "MxA1x...xAd",
+	// "a2a:MxN", "sw:MxN", "so:MxNxK/P".
+	Topology string `json:"topology"`
+	// Backend is packet|fast (default packet).
+	Backend string `json:"backend,omitempty"`
+	// Algorithm is baseline|enhanced (default baseline).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Scheduling is LIFO|FIFO|priority (default LIFO).
+	Scheduling string `json:"scheduling,omitempty"`
+	// SetSplits overrides the preferred chunks per collective set.
+	SetSplits int `json:"set_splits,omitempty"`
+	// Ring/switch multiplicities (defaults match Table IV).
+	LocalRings      int `json:"local_rings,omitempty"`
+	HorizontalRings int `json:"horizontal_rings,omitempty"`
+	VerticalRings   int `json:"vertical_rings,omitempty"`
+	GlobalSwitches  int `json:"global_switches,omitempty"`
+	// Network overrides the full Garnet-level parameter set (Table IV
+	// defaults when absent). Field names are the config.Network ones,
+	// e.g. {"LocalPacketSize": 256}.
+	Network *config.Network `json:"network,omitempty"`
+
+	Collective *CollectiveSpec `json:"collective,omitempty"`
+	Workload   *WorkloadSpec   `json:"workload,omitempty"`
+	// Graph is an inline execution-trace DAG (the workloads/*.graph.json
+	// schema).
+	Graph json.RawMessage `json:"graph,omitempty"`
+
+	// Faults is an inline JSON fault plan (DESIGN.md §8). Requires the
+	// packet backend. Unlike the lenient library selectors, the service
+	// rejects straggler nodes outside the topology.
+	Faults json.RawMessage `json:"faults,omitempty"`
+
+	Priority int `json:"priority,omitempty"`
+}
+
+// badRequest is a 4xx validation failure.
+type badRequest struct{ msg string }
+
+func (e *badRequest) Error() string { return e.msg }
+
+func badf(format string, args ...any) error {
+	return &badRequest{msg: fmt.Sprintf(format, args...)}
+}
+
+// compiled is a validated submission, ready to run: the platform is
+// fully configured (backend, fault plan, network parameters) and the
+// job kind resolved. id is the content address.
+type compiled struct {
+	id       string
+	kind     string // "collective" | "train" | "graph"
+	priority int
+
+	platform *astrasim.Platform
+	op       collectives.Op
+	bytes    int64
+	def      astrasim.Definition
+	passes   int
+	graph    *astrasim.WorkloadGraph
+}
+
+// compile validates a submission end to end and returns the runnable
+// job plus its content address. Every rejection is a *badRequest (→
+// 400); nothing here mutates shared state.
+func compile(sub *Submission) (*compiled, error) {
+	if sub.Topology == "" {
+		return nil, badf("topology is required")
+	}
+	backend := config.PacketBackend
+	if sub.Backend != "" {
+		var err error
+		if backend, err = config.ParseBackend(sub.Backend); err != nil {
+			return nil, &badRequest{msg: err.Error()}
+		}
+	}
+	alg := config.Baseline
+	if sub.Algorithm != "" {
+		var err error
+		if alg, err = config.ParseAlgorithm(sub.Algorithm); err != nil {
+			return nil, &badRequest{msg: err.Error()}
+		}
+	}
+	policy := config.LIFO
+	if sub.Scheduling != "" {
+		var err error
+		if policy, err = config.ParseSchedulingPolicy(sub.Scheduling); err != nil {
+			return nil, &badRequest{msg: err.Error()}
+		}
+	}
+	net := config.DefaultNetwork()
+	if sub.Network != nil {
+		net = *sub.Network
+	}
+	if err := net.Validate(); err != nil {
+		return nil, &badRequest{msg: err.Error()}
+	}
+
+	opts := []astrasim.Option{
+		astrasim.WithBackend(backend),
+		astrasim.WithAlgorithm(alg),
+		astrasim.WithSchedulingPolicy(policy),
+		astrasim.WithNetwork(net),
+	}
+	if sub.SetSplits != 0 {
+		if sub.SetSplits < 1 {
+			return nil, badf("set_splits must be >= 1, got %d", sub.SetSplits)
+		}
+		opts = append(opts, astrasim.WithSetSplits(sub.SetSplits))
+	}
+	rings := ringDefaults(sub)
+	opts = append(opts, astrasim.WithRings(rings[0], rings[1], rings[2]),
+		astrasim.WithGlobalSwitches(rings[3]))
+
+	p, err := astrasim.NewPlatformFromSpec(sub.Topology, opts...)
+	if err != nil {
+		return nil, &badRequest{msg: err.Error()}
+	}
+
+	c := &compiled{platform: p, priority: sub.Priority}
+
+	kinds := 0
+	if sub.Collective != nil {
+		kinds++
+	}
+	if sub.Workload != nil {
+		kinds++
+	}
+	if len(sub.Graph) > 0 {
+		kinds++
+	}
+	if kinds != 1 {
+		return nil, badf("exactly one of collective, workload, graph is required")
+	}
+
+	switch {
+	case sub.Collective != nil:
+		c.kind = "collective"
+		if c.op, err = collectives.ParseOp(strings.ToUpper(sub.Collective.Op)); err != nil {
+			return nil, &badRequest{msg: err.Error()}
+		}
+		if sub.Collective.Bytes <= 0 {
+			return nil, badf("collective bytes must be positive, got %d", sub.Collective.Bytes)
+		}
+		c.bytes = sub.Collective.Bytes
+
+	case sub.Workload != nil:
+		c.kind = "train"
+		if c.def, c.passes, err = compileWorkload(sub.Workload); err != nil {
+			return nil, err
+		}
+
+	default:
+		c.kind = "graph"
+		g, err := astrasim.ParseGraph("submission", bytes.NewReader(sub.Graph))
+		if err != nil {
+			return nil, &badRequest{msg: err.Error()}
+		}
+		// The graph engine checks endpoint ranges when the run starts;
+		// re-check here so a bad graph is a 400, not a failed job.
+		npus := p.NumNPUs()
+		for i := range g.Nodes {
+			n := &g.Nodes[i]
+			if n.Replica < 0 || n.Replica >= npus {
+				return nil, badf("graph node %q: replica %d out of range (%d NPUs)", n.ID, n.Replica, npus)
+			}
+			if n.Kind == "SEND" || n.Kind == "RECV" {
+				if n.Src < 0 || n.Src >= npus || n.Dst < 0 || n.Dst >= npus {
+					return nil, badf("graph node %q: endpoint %d->%d out of range (%d NPUs)", n.ID, n.Src, n.Dst, npus)
+				}
+			}
+		}
+		c.graph = g
+	}
+
+	if len(sub.Faults) > 0 {
+		if backend != config.PacketBackend {
+			return nil, badf("faults require the packet backend; the %v backend does not model faults", backend)
+		}
+		plan, err := astrasim.ParseFaultPlan(bytes.NewReader(sub.Faults))
+		if err != nil {
+			return nil, &badRequest{msg: err.Error()}
+		}
+		// The library applies straggler selectors leniently (nodes
+		// outside the topology are skipped, so one plan can drive a
+		// whole sweep); a service submission names one topology, so an
+		// out-of-range node is a client error.
+		for _, s := range plan.Stragglers {
+			if s.Node >= p.NumNPUs() {
+				return nil, badf("fault plan straggler node %d out of range (%d NPUs)", s.Node, p.NumNPUs())
+			}
+		}
+		if err := p.SetFaultPlan(plan); err != nil {
+			return nil, &badRequest{msg: err.Error()}
+		}
+	}
+
+	if c.id, err = contentAddress(sub, backend, alg, policy, net, rings); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ringDefaults resolves the four multiplicity knobs against Table IV.
+func ringDefaults(sub *Submission) [4]int {
+	r := [4]int{2, 2, 2, 2} // local, horizontal, vertical, switches
+	if sub.LocalRings != 0 {
+		r[0] = sub.LocalRings
+	}
+	if sub.HorizontalRings != 0 {
+		r[1] = sub.HorizontalRings
+	}
+	if sub.VerticalRings != 0 {
+		r[2] = sub.VerticalRings
+	}
+	if sub.GlobalSwitches != 0 {
+		r[3] = sub.GlobalSwitches
+	}
+	return r
+}
+
+func compileWorkload(w *WorkloadSpec) (astrasim.Definition, int, error) {
+	passes := w.Passes
+	if passes == 0 {
+		passes = 1
+	}
+	if passes < 1 {
+		return astrasim.Definition{}, 0, badf("workload passes must be >= 1, got %d", w.Passes)
+	}
+	if (w.Model == "") == (w.Text == "") {
+		return astrasim.Definition{}, 0, badf("workload wants exactly one of model, text")
+	}
+	if w.Text != "" {
+		def, err := astrasim.ParseWorkload("submission", strings.NewReader(w.Text))
+		if err != nil {
+			return astrasim.Definition{}, 0, &badRequest{msg: err.Error()}
+		}
+		return def, passes, nil
+	}
+	batch := w.Batch
+	if batch == 0 {
+		batch = 32
+	}
+	if batch < 1 {
+		return astrasim.Definition{}, 0, badf("workload batch must be >= 1, got %d", w.Batch)
+	}
+	seqLen := w.SeqLen
+	if seqLen == 0 {
+		seqLen = 128
+	}
+	if seqLen < 1 {
+		return astrasim.Definition{}, 0, badf("workload seq_len must be >= 1, got %d", w.SeqLen)
+	}
+	switch strings.ToLower(w.Model) {
+	case "resnet50":
+		return astrasim.ResNet50(batch), passes, nil
+	case "vgg16":
+		return astrasim.VGG16(batch), passes, nil
+	case "bertlarge":
+		return astrasim.BERTLarge(batch, seqLen), passes, nil
+	case "transformer":
+		return astrasim.Transformer(batch, seqLen), passes, nil
+	case "dlrm":
+		return astrasim.DLRM(batch), passes, nil
+	}
+	return astrasim.Definition{}, 0, badf("unknown workload model %q (want resnet50|vgg16|bertlarge|transformer|dlrm)", w.Model)
+}
+
+// canonicalSubmission is the hashed representation: every knob resolved
+// to its effective value, raw JSON sections re-marshaled canonically
+// (Go maps marshal with sorted keys), priority excluded. Two
+// submissions that simulate identically hash identically regardless of
+// which defaults they spelled out.
+type canonicalSubmission struct {
+	Topology   string
+	Backend    string
+	Algorithm  string
+	Scheduling string
+	SetSplits  int
+	Rings      [4]int
+	Network    config.Network
+	Collective *CollectiveSpec
+	Workload   *WorkloadSpec
+	Graph      json.RawMessage
+	Faults     json.RawMessage
+}
+
+// contentAddress derives the job's cache key: sha256 over the canonical
+// submission. The simulator is deterministic (DESIGN.md §9: bit-equal
+// reruns), so equal addresses imply byte-equal results — the invariant
+// the response cache is built on.
+func contentAddress(sub *Submission, backend config.Backend, alg config.Algorithm,
+	policy config.SchedulingPolicy, net config.Network, rings [4]int) (string, error) {
+	canon := canonicalSubmission{
+		Topology:   sub.Topology,
+		Backend:    backend.String(),
+		Algorithm:  alg.String(),
+		Scheduling: policy.String(),
+		SetSplits:  sub.SetSplits,
+		Rings:      rings,
+		Network:    net,
+		Collective: sub.Collective,
+		Workload:   sub.Workload,
+	}
+	var err error
+	if canon.Graph, err = canonicalJSON(sub.Graph); err != nil {
+		return "", badf("graph: %v", err)
+	}
+	if canon.Faults, err = canonicalJSON(sub.Faults); err != nil {
+		return "", badf("faults: %v", err)
+	}
+	b, err := json.Marshal(canon)
+	if err != nil {
+		return "", fmt.Errorf("service: canonicalizing submission: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// canonicalJSON round-trips raw JSON through interface{} so object keys
+// come back sorted: formatting and key order do not perturb the content
+// address.
+func canonicalJSON(raw json.RawMessage) (json.RawMessage, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	return json.Marshal(v)
+}

@@ -86,7 +86,9 @@ func TestEndpointDelayFractionalCarry(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := inst.Sys
-	s.SetNodeStragglerFactor(0, 1.5)
+	if err := s.SetNodeStragglerFactor(0, 1.5); err != nil {
+		t.Fatal(err)
+	}
 
 	const n = 10
 	for i := 0; i < n; i++ {
@@ -125,7 +127,9 @@ func TestFractionalStragglerSlowsCollective(t *testing.T) {
 			t.Fatal(err)
 		}
 		if factor != 1 {
-			inst.Sys.SetNodeStragglerFactor(3, factor)
+			if err := inst.Sys.SetNodeStragglerFactor(3, factor); err != nil {
+				t.Fatal(err)
+			}
 		}
 		h, err := inst.Sys.IssueCollective(collectives.AllReduce, 256<<10, "", nil)
 		if err != nil {

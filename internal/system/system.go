@@ -765,10 +765,16 @@ func (s *System) DebugState() DebugState {
 
 // SetNodeStragglerFactor multiplies one NPU's endpoint (NMU) processing
 // delay — straggler injection for resilience/what-if studies. Factor 1 is
-// nominal; 10 models a node whose message handling is 10x slower.
-func (s *System) SetNodeStragglerFactor(node topology.Node, factor float64) {
+// nominal; 10 models a node whose message handling is 10x slower. The
+// node and factor come from user-supplied plans, so violations are
+// returned as errors rather than panics.
+func (s *System) SetNodeStragglerFactor(node topology.Node, factor float64) error {
+	if node < 0 || int(node) >= len(s.endpointScale) {
+		return fmt.Errorf("system: straggler node %d out of range (%d NPUs)", node, len(s.endpointScale))
+	}
 	if factor <= 0 {
-		panic(fmt.Sprintf("system: straggler factor must be positive, got %v", factor))
+		return fmt.Errorf("system: straggler factor must be positive, got %v", factor)
 	}
 	s.endpointScale[node] = factor
+	return nil
 }

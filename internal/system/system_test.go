@@ -509,7 +509,9 @@ func TestStragglerSlowsCollective(t *testing.T) {
 			t.Fatal(err)
 		}
 		if factor != 1 {
-			inst.Sys.SetNodeStragglerFactor(3, factor)
+			if err := inst.Sys.SetNodeStragglerFactor(3, factor); err != nil {
+				t.Fatal(err)
+			}
 		}
 		done := false
 		h, err := inst.Sys.IssueCollective(collectives.AllReduce, 256<<10, "", func(*Handle) { done = true })
