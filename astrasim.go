@@ -307,6 +307,16 @@ func WithBackend(b Backend) Option {
 	return func(o *platformOpts) { o.sys.Backend = b }
 }
 
+// WithIntraParallel partitions each packet-backend simulation across n
+// shard-pool workers for intra-run parallel execution (DESIGN.md §13).
+// Results are byte-identical to the serial engine at any worker count;
+// 0 (the default) keeps the serial engine. The fast backend ignores it.
+// Incompatible with fault plans and point-to-point sends, which need the
+// serial engine.
+func WithIntraParallel(n int) Option {
+	return func(o *platformOpts) { o.sys.IntraParallel = n }
+}
+
 // WithSetSplits sets the preferred number of chunks per collective set.
 func WithSetSplits(n int) Option {
 	return func(o *platformOpts) { o.sys.PreferredSetSplits = n }

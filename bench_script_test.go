@@ -1,0 +1,113 @@
+// Regression tests for scripts/bench.sh: the missing-benchmark guard
+// (a renamed/removed LARGE benchmark must be a named failure, not a
+// silently empty JSON) and the compare path's baseline join.
+package astrasim_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchSh runs scripts/bench.sh with args and returns combined output.
+func benchSh(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("sh", append([]string{"scripts/bench.sh"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestBenchCheckNamesMissingBenchmark(t *testing.T) {
+	txt := filepath.Join(t.TempDir(), "bench.txt")
+	lines := "BenchmarkAllReduce16x32x32_PacketSerial-1 \t 1\t 90 ns/op\t 8 B/op\t 2 allocs/op\n"
+	if err := os.WriteFile(txt, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// All names present: exit 0.
+	if out, err := benchSh(t, "check", txt, "BenchmarkAllReduce16x32x32_PacketSerial"); err != nil {
+		t.Fatalf("check rejected a complete result set: %v\n%s", err, out)
+	}
+
+	// A renamed/removed benchmark: non-zero exit naming the benchmark.
+	out, err := benchSh(t, "check", txt,
+		"BenchmarkAllReduce16x32x32_PacketSerial|BenchmarkAllReduce16x32x32_IntraParallel")
+	if err == nil {
+		t.Fatalf("check accepted a result set missing a benchmark:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkAllReduce16x32x32_IntraParallel") {
+		t.Fatalf("failure does not name the missing benchmark:\n%s", out)
+	}
+	if strings.Contains(out, "BenchmarkAllReduce16x32x32_PacketSerial ") {
+		t.Fatalf("failure names a benchmark that was present:\n%s", out)
+	}
+}
+
+// TestBenchCheckGuardsLargeSet: every benchmark named in the script's
+// LARGE set must exist in this package, or `bench.sh large` would die on
+// the guard after minutes of benchmarking. Parses the LARGE= line and
+// cross-checks against `go test -list`.
+func TestBenchCheckGuardsLargeSet(t *testing.T) {
+	script, err := os.ReadFile("scripts/bench.sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var largeSet string
+	for _, line := range strings.Split(string(script), "\n") {
+		if strings.HasPrefix(line, "LARGE='") {
+			largeSet = strings.TrimSuffix(strings.TrimPrefix(line, "LARGE='"), "'")
+		}
+	}
+	if largeSet == "" {
+		t.Fatal("scripts/bench.sh has no LARGE= set")
+	}
+	out, err := exec.Command("go", "test", "-run", "^$", "-list", largeSet, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go test -list: %v\n%s", err, out)
+	}
+	for _, name := range strings.Split(largeSet, "|") {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("LARGE names %s, which no longer exists in bench_test.go", name)
+		}
+	}
+}
+
+// TestBenchComparePath drives compare mode against a crafted fresh run:
+// an inflated ns/op must produce a ::warning annotation, and a benchmark
+// absent from the committed baseline must be called out (not silently
+// skipped) — while the run itself still exits zero, since CI regressions
+// warn rather than fail.
+func TestBenchComparePath(t *testing.T) {
+	baseline, err := os.ReadFile("BENCH_core.json")
+	if err != nil {
+		t.Skip("no committed BENCH_core.json baseline")
+	}
+	// Pick the first benchmark name out of the committed baseline.
+	fields := strings.SplitN(string(baseline), `"benchmark":"`, 2)
+	if len(fields) != 2 {
+		t.Fatalf("cannot parse baseline:\n%s", baseline)
+	}
+	name := fields[1][:strings.Index(fields[1], `"`)]
+
+	work := t.TempDir()
+	fresh := `[
+  {"benchmark":"` + name + `","iterations":1,"ns_per_op":999999999999,"bytes_per_op":1,"allocs_per_op":1},
+  {"benchmark":"BenchmarkNotInBaseline","iterations":1,"ns_per_op":5,"bytes_per_op":1,"allocs_per_op":1}
+]`
+	if err := os.WriteFile(filepath.Join(work, "BENCH_core.json"), []byte(fresh), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := benchSh(t, "compare", work)
+	if err != nil {
+		t.Fatalf("compare exited non-zero: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "::warning") || !strings.Contains(out, name) {
+		t.Fatalf("no regression warning for %s:\n%s", name, out)
+	}
+	if !strings.Contains(out, "BenchmarkNotInBaseline") {
+		t.Fatalf("benchmark missing from baseline was silently skipped:\n%s", out)
+	}
+}

@@ -6,6 +6,7 @@
 package astrasim_test
 
 import (
+	"runtime"
 	"testing"
 
 	"astrasim"
@@ -148,6 +149,41 @@ func BenchmarkAllReduce16x16x16_FastMode(b *testing.B) {
 
 func BenchmarkAllReduce16x16x16_PacketMode(b *testing.B) {
 	benchAllReduce16Cubed(b, astrasim.PacketBackend)
+}
+
+// benchAllReduce16k is the intra-run parallelism acceptance pair: the
+// same 16x32x32 (16384-NPU) enhanced all-reduce on the serial packet
+// engine and on the partitioned engine (-intra-parallel at NumCPU
+// workers). Exact packets (no event cap) and splits=1, like the
+// backend-duality pair above; the partitioned run additionally collapses
+// provably-uncongested single-hop bursts into two events each, which is
+// what turns a minutes-long serial replay into seconds (DESIGN.md §13).
+// Results are byte-identical between the two — only wall time differs.
+func benchAllReduce16k(b *testing.B, workers int) {
+	b.ReportAllocs()
+	net := astrasim.DefaultNetworkConfig()
+	net.MaxPacketsPerMessage = 0
+	p, err := astrasim.NewTorusPlatform(16, 32, 32,
+		astrasim.WithAlgorithm(astrasim.Enhanced),
+		astrasim.WithSetSplits(1),
+		astrasim.WithNetwork(net),
+		astrasim.WithIntraParallel(workers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunCollective(astrasim.AllReduce, 8<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllReduce16x32x32_PacketSerial(b *testing.B) {
+	benchAllReduce16k(b, 0)
+}
+
+func BenchmarkAllReduce16x32x32_IntraParallel(b *testing.B) {
+	benchAllReduce16k(b, runtime.NumCPU())
 }
 
 func BenchmarkAllToAll_8Packages_1MB(b *testing.B) {

@@ -29,6 +29,11 @@
 // -backend selects the network transport: packet (congestion-aware,
 // default) or fast (congestion-unaware analytical mode; see DESIGN.md
 // §11). -faults requires the packet backend.
+//
+// -intra-parallel N partitions the packet network across N shard-pool
+// workers for intra-run parallel simulation (DESIGN.md §13). Results are
+// byte-identical to the serial engine at any worker count; 0 (the
+// default) keeps the serial engine. Incompatible with -faults.
 package main
 
 import (
@@ -75,6 +80,7 @@ func main() {
 	graphDump := flag.String("graph-dump", "", "compile the selected -workload into an execution graph, write it here, and exit")
 	auditFlag := flag.Bool("audit", false, "attach the invariant auditor and fail on any violation")
 	backendFlag := flag.String("backend", "packet", "network backend: packet (congestion-aware) or fast (congestion-unaware analytical)")
+	intraParallel := flag.Int("intra-parallel", 0, "shard-pool workers for intra-run parallel packet simulation (0 = serial engine; results are identical at any count)")
 	flag.Parse()
 
 	backend, err := config.ParseBackend(*backendFlag)
@@ -83,6 +89,9 @@ func main() {
 	}
 	if *faultsFlag != "" && backend != config.PacketBackend {
 		fatal(fmt.Errorf("-faults requires the packet backend; the %v backend does not model faults", backend))
+	}
+	if *faultsFlag != "" && *intraParallel > 0 {
+		fatal(fmt.Errorf("-faults and -intra-parallel are mutually exclusive; fault injection needs the serial engine"))
 	}
 
 	var def workload.Definition
@@ -126,6 +135,7 @@ func main() {
 
 	cfg := config.DefaultSystem()
 	cfg.Backend = backend
+	cfg.IntraParallel = *intraParallel
 	if cfg.Algorithm, err = config.ParseAlgorithm(*algFlag); err != nil {
 		fatal(err)
 	}

@@ -34,6 +34,11 @@
 // §11). Single-chunk fast runs are cycle-exact with packet runs;
 // -faults requires the packet backend.
 //
+// -intra-parallel N partitions the packet network across N shard-pool
+// workers for intra-run parallel simulation (DESIGN.md §13). Results
+// stay byte-identical to the serial engine at any worker count; 0 (the
+// default) keeps the serial engine. Incompatible with -faults.
+//
 // -oracle cross-checks each run against the closed-form cost model in
 // internal/oracle (DESIGN.md §9): single-chunk runs print the exact
 // predicted-vs-simulated delta, chunked runs print the prediction bounds.
@@ -80,6 +85,7 @@ type options struct {
 	audit      bool
 	oracle     bool
 	backend    config.Backend
+	intraPar   int
 	plan       *faults.Plan
 	// graphW x graphD, when non-zero, replays a microbenchmark DAG
 	// (width independent chains of depth dependent collectives) through
@@ -108,6 +114,7 @@ func parseArgs(args []string) (*options, error) {
 	oracleFlag := fs.Bool("oracle", false, "cross-check each run against the closed-form oracle (DESIGN.md §9)")
 	faultsFlag := fs.String("faults", "", "JSON fault plan applied to each run (see DESIGN.md §8)")
 	backendFlag := fs.String("backend", "packet", "network backend: packet (congestion-aware) or fast (congestion-unaware analytical)")
+	intraParallel := fs.Int("intra-parallel", 0, "shard-pool workers for intra-run parallel packet simulation (0 = serial engine; results are identical at any count)")
 	graphBench := fs.String("graph-bench", "", "replay a WIDTHxDEPTH microbenchmark DAG of the selected op through the graph engine (e.g. 4x8)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -127,6 +134,7 @@ func parseArgs(args []string) (*options, error) {
 		workers:   *workers,
 		audit:     *auditFlag,
 		oracle:    *oracleFlag,
+		intraPar:  *intraParallel,
 	}
 	var err error
 	if o.op, err = collectives.ParseOp(strings.ToUpper(*opFlag)); err != nil {
@@ -150,12 +158,18 @@ func parseArgs(args []string) (*options, error) {
 	if o.backend, err = config.ParseBackend(*backendFlag); err != nil {
 		return nil, err
 	}
+	if o.intraPar < 0 {
+		return nil, fmt.Errorf("collectives: -intra-parallel must be >= 0, got %d", o.intraPar)
+	}
 	if *faultsFlag != "" {
 		if o.plan, err = faults.Load(*faultsFlag); err != nil {
 			return nil, err
 		}
 		if o.backend != config.PacketBackend {
 			return nil, fmt.Errorf("collectives: -faults requires the packet backend; the %v backend does not model faults", o.backend)
+		}
+		if o.intraPar > 0 {
+			return nil, fmt.Errorf("collectives: -faults and -intra-parallel are mutually exclusive; fault injection needs the serial engine")
 		}
 	}
 	if *graphBench != "" {
@@ -177,6 +191,7 @@ func main() {
 	cfg.SchedulingPolicy = o.policy
 	cfg.PreferredSetSplits = o.splits
 	cfg.Backend = o.backend
+	cfg.IntraParallel = o.intraPar
 	topo, err := cli.BuildTopology(o.topoSpec, o.topoOpts, &cfg)
 	if err != nil {
 		fatal(err)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sweep [-fig all|fig09|fig10|...|fig18] [-out results] [-quick] [-parallel N] [-audit] [-faults plan.json] [-backend packet|fast]
+//	sweep [-fig all|fig09|fig10|...|fig18] [-out results] [-quick] [-parallel N] [-audit] [-faults plan.json] [-backend packet|fast] [-intra-parallel N]
 //
 // -backend selects the network transport for every simulation: packet
 // (congestion-aware, the default — what the committed golden CSVs were
@@ -25,6 +25,11 @@
 // Full mode sweeps the paper's message-size ranges and runs two training
 // iterations of ResNet-50 and Transformer; -quick shrinks everything for a
 // fast smoke run.
+//
+// -intra-parallel N additionally partitions each packet-mode simulation
+// point across N shard-pool workers (intra-run parallelism, DESIGN.md
+// §13) — use it when a few huge points dominate a sweep. CSVs stay
+// byte-identical at any value. Incompatible with -faults.
 //
 // Each figure's independent simulation points fan out across -parallel
 // worker goroutines (default: all CPUs). Every point still runs on its own
@@ -57,6 +62,7 @@ func main() {
 	auditFlag := flag.Bool("audit", false, "audit every simulation for invariant violations (byte conservation, quiescence)")
 	faultsFlag := flag.String("faults", "", "JSON fault plan applied to every simulation (see DESIGN.md §8)")
 	backendFlag := flag.String("backend", "packet", "network backend: packet (congestion-aware) or fast (congestion-unaware analytical)")
+	intraParallel := flag.Int("intra-parallel", 0, "shard-pool workers for intra-run parallel packet simulation inside each point (0 = serial engine; CSVs are identical at any count)")
 	flag.Parse()
 
 	backend, err := config.ParseBackend(*backendFlag)
@@ -65,6 +71,9 @@ func main() {
 	}
 	if *faultsFlag != "" && backend != config.PacketBackend {
 		fatal(fmt.Errorf("-faults requires the packet backend; the %v backend does not model faults", backend))
+	}
+	if *faultsFlag != "" && *intraParallel > 0 {
+		fatal(fmt.Errorf("-faults and -intra-parallel are mutually exclusive; fault injection needs the serial engine"))
 	}
 
 	var collector *audit.Collector
@@ -90,6 +99,7 @@ func main() {
 	}
 	opts.Workers = *workers
 	opts.Backend = backend
+	opts.IntraParallel = *intraParallel
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}

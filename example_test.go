@@ -33,7 +33,7 @@ func ExamplePlatform_Train() {
 		log.Fatal(err)
 	}
 	fmt.Printf("%d layers simulated; total %d cycles\n", len(res.Layers), res.TotalCycles)
-	// Output: 8 layers simulated; total 98777 cycles
+	// Output: 8 layers simulated; total 98733 cycles
 }
 
 // Workload files use the paper's Fig. 8 text format.

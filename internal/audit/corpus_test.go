@@ -1,11 +1,16 @@
 package audit_test
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
 	"astrasim/internal/audit"
+	"astrasim/internal/cli"
+	"astrasim/internal/collectives"
+	"astrasim/internal/config"
 	"astrasim/internal/experiments"
+	"astrasim/internal/system"
 )
 
 // TestAuditCorpus runs the entire evaluation corpus — every figure of the
@@ -49,4 +54,42 @@ func TestAuditCorpus(t *testing.T) {
 		t.Fatalf("corpus audit failed:\n%v", v)
 	}
 	t.Log(c.Summary())
+}
+
+// TestAuditCorpusIntraParallel re-checks every conservation invariant
+// under intra-run parallelism: the same byte-ledger, LSQ, slot and
+// free-list accounting must hold when the packet network is partitioned
+// across shard engines (IntraParallel > 0) — shard free lists and the
+// cross-engine outbox are extra places bytes or packets could leak that
+// the serial corpus never exercises.
+func TestAuditCorpusIntraParallel(t *testing.T) {
+	c := &audit.Collector{}
+	restore := audit.AttachAll(c)
+	defer restore()
+
+	for _, spec := range []string{"1x8x1", "2x4x2", "a2a:2x4", "sw:4x2", "so:2x2x1/2"} {
+		for _, op := range []collectives.Op{collectives.AllReduce, collectives.AllToAll} {
+			for _, workers := range []int{1, 2} {
+				t.Run(fmt.Sprintf("%s/%v/w%d", spec, op, workers), func(t *testing.T) {
+					cfg := config.DefaultSystem()
+					cfg.Algorithm = config.Enhanced
+					cfg.PreferredSetSplits = 8
+					cfg.IntraParallel = workers
+					topo, err := cli.BuildTopology(spec, cli.DefaultTopologyOptions(), &cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := system.RunCollective(topo, cfg, config.DefaultNetwork(), op, 1<<20); err != nil {
+						t.Fatal(err)
+					}
+					if v := c.Violations(); len(v) > 0 {
+						t.Fatalf("invariant violations:\n  %s", v[0])
+					}
+				})
+			}
+		}
+	}
+	if c.Runs() == 0 {
+		t.Fatal("no audited instances created")
+	}
 }

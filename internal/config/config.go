@@ -372,6 +372,16 @@ type System struct {
 	// IssueBatch is the dispatcher's "P": how many chunks are issued
 	// from the ready queue at once.
 	IssueBatch int
+
+	// IntraParallel, when positive, runs the packet backend with
+	// intra-run parallel discrete-event simulation (internal/pdes): the
+	// network's event load is partitioned by topology component across
+	// shard engines advanced by that many workers in conservative
+	// lookahead windows. Results are byte-identical to the serial engine
+	// at every worker count; 0 (the default) keeps the serial engine.
+	// The fast backend ignores it. Not combinable with fault injection
+	// or point-to-point routing (both report a clear error).
+	IntraParallel int
 }
 
 // DefaultSystem returns the system parameters used by the paper's
@@ -442,6 +452,8 @@ func (s System) Validate() error {
 		return errors.New("config: IssueThreshold must be positive")
 	case s.IssueBatch <= 0:
 		return errors.New("config: IssueBatch must be positive")
+	case s.IntraParallel < 0:
+		return errors.New("config: IntraParallel must be >= 0 (0 = serial engine)")
 	}
 	return nil
 }

@@ -4,9 +4,38 @@
 // ASTRA-SIM uses an event-driven execution model: the system layer owns a
 // single event queue and exposes it upward to the workload layer and
 // downward to the network layer. Time is measured in integer cycles
-// (1 cycle = 1 ns at the default 1 GHz clock). Events scheduled for the
-// same cycle fire in insertion order, which makes every simulation run
-// bit-reproducible.
+// (1 cycle = 1 ns at the default 1 GHz clock).
+//
+// # Ordering contract
+//
+// Events fire in ascending order of a six-field key
+//
+//	(at, ctime, gen2, comp, seq, sub)
+//
+// where at is the firing cycle, ctime is the cycle the event was created,
+// gen2 is the creation cycle of the event that created it (one more level
+// of genealogy), comp is the component the event belongs to (0 for the
+// main engine, 1..C for network partition components — see internal/pdes),
+// seq is a per-engine creation counter, and sub disambiguates multiple
+// cross-engine injections made by one handler. On a single engine this
+// order is provably identical to plain (at, creation order): ctime, gen2
+// and seq are all monotone in creation order at equal at, and comp/sub are
+// constant. The extra fields exist so that the same total order can be
+// reproduced when events are split across per-partition engines: a
+// cross-engine injection carries its creator's key (InjectAt) and
+// therefore sorts against the target engine's local events exactly where
+// the serial run would have fired it. That is the mechanism behind the
+// pdes determinism guarantee — results are byte-identical at any worker
+// count, and identical to the serial engine.
+//
+// # Concurrency contract
+//
+// An Engine is not safe for concurrent use: each engine is owned by
+// exactly one goroutine at a time. Parallel sweeps run one independent
+// engine per run (internal/parallel); intra-run parallelism
+// (internal/pdes) hands disjoint engines to pool workers for one bounded
+// window at a time, with all cross-engine traffic (InjectAt) performed
+// between windows under a barrier.
 //
 // The queue is a value-based binary heap: events are stored inline in one
 // backing slice rather than as individually heap-allocated nodes, so the
@@ -35,19 +64,25 @@ type Handler func()
 type CallFunc func(a, b any)
 
 // event is stored by value inside the heap slice. Exactly one of h / fn
-// is set.
+// is set. The (at, ctime, gen2, comp, seq, sub) key is documented in the
+// package comment.
 type event struct {
-	at  Time
-	seq uint64 // tie-breaker: insertion order within the same cycle
-	h   Handler
-	fn  CallFunc
+	at    Time
+	ctime Time   // creation cycle
+	gen2  Time   // creator's creation cycle
+	seq   uint64 // per-engine creation order
+	comp  uint32 // owning component (0 = main)
+	sub   uint32 // per-handler cross-engine injection order
+	h     Handler
+	fn    CallFunc
 	a,
 	b any
 }
 
 // eventHeap is a hand-rolled binary min-heap over inline event values,
-// ordered by (at, seq). container/heap is avoided deliberately: its
-// interface forces every push through an `any` boxing allocation.
+// ordered by the six-field event key. container/heap is avoided
+// deliberately: its interface forces every push through an `any` boxing
+// allocation.
 type eventHeap struct {
 	items []event
 }
@@ -59,7 +94,19 @@ func (h *eventHeap) less(i, j int) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	if a.ctime != b.ctime {
+		return a.ctime < b.ctime
+	}
+	if a.gen2 != b.gen2 {
+		return a.gen2 < b.gen2
+	}
+	if a.comp != b.comp {
+		return a.comp < b.comp
+	}
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.sub < b.sub
 }
 
 func (h *eventHeap) push(ev event) {
@@ -103,19 +150,48 @@ func (h *eventHeap) pop() event {
 	return root
 }
 
+// Key is an event's deterministic position among same-cycle events: the
+// (ctime, gen2, comp, seq) portion of the ordering key. It is the currency
+// of cross-engine scheduling: capturing a key on one engine (EventKey /
+// SpliceKey) and injecting with it on another (InjectAt) places the event
+// in the target's total order exactly where a single serial engine would
+// have fired it.
+type Key struct {
+	Ctime Time
+	Gen2  Time
+	Comp  uint32
+	Seq   uint64
+}
+
+// DriverFunc replaces the engine's built-in run loop (see SetDriver).
+// It must fire all pending events — bounded by deadline when bounded is
+// true, to completion otherwise — and return the final simulation time.
+type DriverFunc func(deadline Time, bounded bool) Time
+
 // Engine is a discrete-event simulation engine. The zero value is ready to
-// use. Engine is not safe for concurrent use; each simulation run is
-// single-threaded by design so that runs are deterministic (parallel
-// sweeps run one independent Engine per goroutine — see internal/parallel).
+// use. Engine is not safe for concurrent use; see the package comment for
+// the single-owner concurrency contract (parallel sweeps run one
+// independent Engine per goroutine, the pdes runner hands engines to
+// workers one window at a time).
 type Engine struct {
 	now     Time
 	seq     uint64
 	queue   eventHeap
 	fired   uint64
 	stopped bool
+	// Firing context: key of the event currently (or most recently)
+	// executing, used to stamp genealogy onto the events it creates, plus
+	// the running sub counter for cross-engine splices it emits.
+	fireCtime Time
+	fireGen2  Time
+	fireComp  uint32
+	fireSeq   uint64
+	fireSub   uint32
 	// onDrain, when non-nil, runs whenever a Run/RunUntil call empties
 	// the queue (see SetOnDrain).
 	onDrain func()
+	// driver, when non-nil, replaces the Run/RunUntil loop (see SetDriver).
+	driver DriverFunc
 }
 
 // New returns a fresh engine at time zero.
@@ -145,7 +221,7 @@ func (e *Engine) At(at Time, h Handler) {
 		panic(fmt.Sprintf("eventq: scheduling into the past (at=%d now=%d)", at, e.now))
 	}
 	e.seq++
-	e.queue.push(event{at: at, seq: e.seq, h: h})
+	e.queue.push(event{at: at, ctime: e.now, gen2: e.fireCtime, comp: e.fireComp, seq: e.seq, h: h})
 }
 
 // Call enqueues fn(a, b) to fire delay cycles from now. Unlike Schedule it
@@ -165,8 +241,61 @@ func (e *Engine) CallAt(at Time, fn CallFunc, a, b any) {
 		panic(fmt.Sprintf("eventq: scheduling into the past (at=%d now=%d)", at, e.now))
 	}
 	e.seq++
-	e.queue.push(event{at: at, seq: e.seq, fn: fn, a: a, b: b})
+	e.queue.push(event{at: at, ctime: e.now, gen2: e.fireCtime, comp: e.fireComp, seq: e.seq, fn: fn, a: a, b: b})
 }
+
+// EventKey allocates the ordering key a locally created event would
+// receive right now: creation time = Now, genealogy from the firing
+// context, and a freshly consumed seq. Used to label work that will be
+// injected into another engine later (e.g. a shard buffering a delivery
+// for the main engine) so it sorts exactly as a locally scheduled event
+// would have.
+func (e *Engine) EventKey() Key {
+	e.seq++
+	return Key{Ctime: e.now, Gen2: e.fireCtime, Comp: e.fireComp, Seq: e.seq}
+}
+
+// SpliceKey returns the key of the currently firing event plus the next
+// splice ordinal. A handler that hands work to another engine mid-flight
+// (the main engine deferring packetization to a link shard) injects it
+// under its own key: the work then sorts against the target engine's
+// events exactly where the serial engine would have executed it inline.
+// Successive calls within one firing return increasing ordinals.
+func (e *Engine) SpliceKey() (Key, uint32) {
+	k := Key{Ctime: e.fireCtime, Gen2: e.fireGen2, Comp: e.fireComp, Seq: e.fireSeq}
+	sub := e.fireSub
+	e.fireSub++
+	return k, sub
+}
+
+// InjectAt enqueues fn(a, b) at absolute time at under an explicit key —
+// the cross-engine scheduling primitive. Unlike CallAt it does not consume
+// a local seq: the event's position is entirely determined by the caller's
+// key, which must originate from EventKey or SpliceKey on the creating
+// engine. The caller must own both engines (pdes injects only between
+// windows, under the barrier).
+func (e *Engine) InjectAt(at Time, k Key, sub uint32, fn CallFunc, a, b any) {
+	if fn == nil {
+		panic("eventq: nil call func")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("eventq: injecting into the past (at=%d now=%d)", at, e.now))
+	}
+	e.queue.push(event{at: at, ctime: k.Ctime, gen2: k.Gen2, comp: k.Comp, seq: k.Seq, sub: sub, fn: fn, a: a, b: b})
+}
+
+// SetFiringComp reassigns the firing context's component. A handler that
+// acts on behalf of a different component than the event that invoked it
+// (a shard's inbox event, injected under the main engine's component 0,
+// packetizing onto a component-c link) calls this before creating events
+// so they — and transitively everything they create — carry the right
+// component in their ordering keys.
+func (e *Engine) SetFiringComp(c uint32) { e.fireComp = c }
+
+// FiringComp reports the firing context's current component, so a caller
+// that stamps a temporary component with SetFiringComp can restore the
+// previous one afterwards.
+func (e *Engine) FiringComp() uint32 { return e.fireComp }
 
 // Step fires the single earliest event and reports whether one fired.
 func (e *Engine) Step() bool {
@@ -176,6 +305,7 @@ func (e *Engine) Step() bool {
 	ev := e.queue.pop()
 	e.now = ev.at
 	e.fired++
+	e.fireCtime, e.fireGen2, e.fireComp, e.fireSeq, e.fireSub = ev.ctime, ev.gen2, ev.comp, ev.seq, 0
 	if ev.h != nil {
 		ev.h()
 	} else {
@@ -198,10 +328,25 @@ func (e *Engine) drained() {
 	}
 }
 
+// FireDrain invokes the drain hook if the queue is empty and the engine
+// was not stopped. Drivers call it once true quiescence is reached —
+// RunWindow deliberately never fires the hook, because an empty queue
+// mid-window only means this engine is waiting on its peers.
+func (e *Engine) FireDrain() { e.drained() }
+
+// SetDriver installs (or, with nil, clears) a replacement run loop:
+// subsequent Run/RunUntil calls delegate to d instead of stepping the
+// local queue. The pdes runner uses this to substitute its barrier-window
+// schedule for the serial loop without changing any Run call site.
+func (e *Engine) SetDriver(d DriverFunc) { e.driver = d }
+
 // Run fires events until the queue is empty or Stop is called, and returns
 // the final simulation time.
 func (e *Engine) Run() Time {
 	e.stopped = false
+	if e.driver != nil {
+		return e.driver(0, false)
+	}
 	for !e.stopped && e.Step() {
 	}
 	e.drained()
@@ -216,6 +361,9 @@ func (e *Engine) Run() Time {
 // moves backwards). It returns the current time afterwards.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
+	if e.driver != nil {
+		return e.driver(deadline, true)
+	}
 	for !e.stopped && e.queue.len() > 0 && e.queue.items[0].at <= deadline {
 		e.Step()
 	}
@@ -225,6 +373,34 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	}
 	return e.now
 }
+
+// RunWindow fires events with timestamps <= deadline and advances the
+// clock to deadline, like RunUntil, but ignores any installed driver and
+// never fires the drain hook: it is the primitive drivers themselves are
+// built from. One window of one engine is always executed by a single
+// goroutine; the pdes runner's barrier hands engines between goroutines
+// only at window boundaries.
+func (e *Engine) RunWindow(deadline Time) Time {
+	for !e.stopped && e.queue.len() > 0 && e.queue.items[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// NextAt reports the firing time of the earliest pending event, or false
+// if the queue is empty.
+func (e *Engine) NextAt() (Time, bool) {
+	if e.queue.len() == 0 {
+		return 0, false
+	}
+	return e.queue.items[0].at, true
+}
+
+// Stopped reports whether Stop froze the current run.
+func (e *Engine) Stopped() bool { return e.stopped }
 
 // Stop makes the current Run/RunUntil return after the in-flight handler
 // completes. Pending events stay queued, and a stopped RunUntil does not

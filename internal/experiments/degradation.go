@@ -19,7 +19,7 @@ import (
 func faultedRun(plan *faults.Plan, net config.Network, size int64) (*system.Handle, *system.Instance, error) {
 	// Fault injection is packet-only, so the degradation study always
 	// runs on the packet backend regardless of Options.Backend.
-	tp, cfg, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), config.Enhanced, config.PacketBackend)
+	tp, cfg, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), config.Enhanced, Options{Backend: config.PacketBackend})
 	if err != nil {
 		return nil, nil, err
 	}

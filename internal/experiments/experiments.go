@@ -46,6 +46,12 @@ type Options struct {
 	// ideal, e.g. a 2 GHz accelerator at 2x area efficiency) reproduces
 	// the paper's operating point; see EXPERIMENTS.md.
 	TrainComputeScale float64
+	// IntraParShapes are the torus shapes of the extintrapar study
+	// (intra-run parallel DES characterization); IntraParBytes is its
+	// all-reduce set size.
+	IntraParShapes [][3]int
+	IntraParBytes  int64
+
 	// Fig17Shapes are the torus shapes (local, horizontal, vertical)
 	// for the scale sweep.
 	Fig17Shapes [][3]int
@@ -64,6 +70,12 @@ type Options struct {
 	// quick design sweeps). The fault-injection studies are packet-only
 	// and ignore this field.
 	Backend config.Backend
+
+	// IntraParallel partitions each packet-backend simulation across this
+	// many shard-pool workers (internal/pdes; DESIGN.md §13). 0 keeps the
+	// serial engine. Results are byte-identical at any value, so golden
+	// CSVs do not depend on it. Ignored by the fast backend.
+	IntraParallel int
 }
 
 // runner returns the sweep executor for o's worker count.
@@ -87,6 +99,8 @@ func Full() Options {
 		TrainComputeScale: 4,
 		Fig17Shapes:       [][3]int{{2, 2, 2}, {2, 4, 2}, {2, 4, 4}, {2, 8, 4}, {2, 8, 8}},
 		Fig18Scales:       []float64{0.5, 1, 2, 4},
+		IntraParShapes:    [][3]int{{8, 8, 8}, {16, 16, 16}, {16, 32, 32}},
+		IntraParBytes:     8 << 20,
 	}
 }
 
@@ -103,6 +117,8 @@ func Quick() Options {
 		TrainComputeScale: 4,
 		Fig17Shapes:       [][3]int{{2, 2, 2}, {2, 4, 2}},
 		Fig18Scales:       []float64{0.5, 2},
+		IntraParShapes:    [][3]int{{2, 2, 2}, {2, 4, 2}},
+		IntraParBytes:     1 << 20,
 	}
 }
 
@@ -127,8 +143,9 @@ func asymmetricNet(pktCap int) config.Network {
 }
 
 // torusSystem builds a torus topology plus a matching system config on
-// the requested network backend.
-func torusSystem(m, n, k int, tc topology.TorusConfig, alg config.Algorithm, backend config.Backend) (*topology.Torus, config.System, error) {
+// the requested network backend; o also carries the intra-run
+// parallelism setting into every instance the figure creates.
+func torusSystem(m, n, k int, tc topology.TorusConfig, alg config.Algorithm, o Options) (*topology.Torus, config.System, error) {
 	tp, err := topology.NewTorus(m, n, k, tc)
 	if err != nil {
 		return nil, config.System{}, err
@@ -140,13 +157,15 @@ func torusSystem(m, n, k int, tc topology.TorusConfig, alg config.Algorithm, bac
 	cfg.HorizontalRings = tc.HorizontalRings
 	cfg.VerticalRings = tc.VerticalRings
 	cfg.Algorithm = alg
-	cfg.Backend = backend
+	cfg.Backend = o.Backend
+	cfg.IntraParallel = o.IntraParallel
 	return tp, cfg, nil
 }
 
 // a2aSystem builds an alltoall topology plus a matching system config on
-// the requested network backend.
-func a2aSystem(m, n int, ac topology.A2AConfig, alg config.Algorithm, backend config.Backend) (*topology.A2A, config.System, error) {
+// the requested network backend; o also carries the intra-run
+// parallelism setting.
+func a2aSystem(m, n int, ac topology.A2AConfig, alg config.Algorithm, o Options) (*topology.A2A, config.System, error) {
 	tp, err := topology.NewA2A(m, n, ac)
 	if err != nil {
 		return nil, config.System{}, err
@@ -157,7 +176,8 @@ func a2aSystem(m, n int, ac topology.A2AConfig, alg config.Algorithm, backend co
 	cfg.LocalRings = ac.LocalRings
 	cfg.GlobalSwitches = ac.GlobalSwitches
 	cfg.Algorithm = alg
-	cfg.Backend = backend
+	cfg.Backend = o.Backend
+	cfg.IntraParallel = o.IntraParallel
 	return tp, cfg, nil
 }
 
@@ -167,12 +187,12 @@ func a2aSystem(m, n int, ac topology.A2AConfig, alg config.Algorithm, backend co
 // sizes (§V-A).
 func Fig9(o Options) ([]*report.Table, error) {
 	torusTp, torusCfg, err := torusSystem(1, 8, 1,
-		topology.TorusConfig{LocalRings: 1, HorizontalRings: 4, VerticalRings: 1}, config.Baseline, o.Backend)
+		topology.TorusConfig{LocalRings: 1, HorizontalRings: 4, VerticalRings: 1}, config.Baseline, o)
 	if err != nil {
 		return nil, err
 	}
 	a2aTp, a2aCfg, err := a2aSystem(1, 8,
-		topology.A2AConfig{LocalRings: 1, GlobalSwitches: 7}, config.Baseline, o.Backend)
+		topology.A2AConfig{LocalRings: 1, GlobalSwitches: 7}, config.Baseline, o)
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +253,7 @@ func Fig10(o Options) ([]*report.Table, error) {
 	nShapes := len(shapes)
 	durs, err := parallel.Map(o.runner(), len(o.SweepSizes)*nShapes, func(i int) (eventq.Time, error) {
 		size, s := o.SweepSizes[i/nShapes], shapes[i%nShapes]
-		tp, cfg, err := torusSystem(s[0], s[1], s[2], topology.DefaultTorusConfig(), config.Baseline, o.Backend)
+		tp, cfg, err := torusSystem(s[0], s[1], s[2], topology.DefaultTorusConfig(), config.Baseline, o)
 		if err != nil {
 			return 0, err
 		}
@@ -282,7 +302,7 @@ func Fig11(o Options) ([]*report.Table, error) {
 		nVar := len(variants)
 		durs, err := parallel.Map(o.runner(), len(o.SweepSizes)*nVar, func(i int) (eventq.Time, error) {
 			size, v := o.SweepSizes[i/nVar], variants[i%nVar]
-			tp, cfg, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), v.alg, o.Backend)
+			tp, cfg, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), v.alg, o)
 			if err != nil {
 				return 0, err
 			}
@@ -336,7 +356,7 @@ func Fig12(o Options) ([]*report.Table, error) {
 	}
 	points, err := parallel.Map(o.runner(), len(shapes), func(i int) (point, error) {
 		s := shapes[i]
-		tp, cfg, err := torusSystem(s[0], s[1], s[2], topology.DefaultTorusConfig(), config.Enhanced, o.Backend)
+		tp, cfg, err := torusSystem(s[0], s[1], s[2], topology.DefaultTorusConfig(), config.Enhanced, o)
 		if err != nil {
 			return point{}, err
 		}

@@ -50,6 +50,7 @@ func Ext4D(o Options) ([]*report.Table, error) {
 		cfg.HorizontalSize = tp.NumNPUs() / s[0]
 		cfg.VerticalSize = 1
 		cfg.Backend = o.Backend
+		cfg.IntraParallel = o.IntraParallel
 		h, err := system.RunCollective(tp, cfg, net, collectives.AllReduce, size)
 		if err != nil {
 			return 0, fmt.Errorf("ext4d %v %d: %w", s, size, err)
@@ -142,6 +143,7 @@ func ExtMapping(o Options) ([]*report.Table, error) {
 		cfg.Topology = config.TorusND
 		cfg.LocalSize, cfg.HorizontalSize, cfg.VerticalSize = 1, 64, 1
 		cfg.Backend = o.Backend
+		cfg.IntraParallel = o.IntraParallel
 		h, err := system.RunCollective(mapped, cfg, net, collectives.AllReduce, size)
 		if err != nil {
 			return 0, fmt.Errorf("extmap %s %d: %w", l.name, size, err)
@@ -178,7 +180,7 @@ func ExtEnergy(o Options) ([]*report.Table, error) {
 	}
 	rows, err := parallel.Map(o.runner(), len(variants), func(i int) ([]string, error) {
 		v := variants[i]
-		tp, cfg, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), v.alg, o.Backend)
+		tp, cfg, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), v.alg, o)
 		if err != nil {
 			return nil, err
 		}
@@ -220,7 +222,7 @@ func ExtAblation(o Options) ([]*report.Table, error) {
 	size := o.SweepSizes[len(o.SweepSizes)-1]
 	net := asymmetricNet(o.CollectivePktCap)
 	run := func(mutate func(*config.System)) (int64, error) {
-		tp, cfg, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), config.Enhanced, o.Backend)
+		tp, cfg, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), config.Enhanced, o)
 		if err != nil {
 			return 0, err
 		}
@@ -294,6 +296,7 @@ func Extensions() []Figure {
 		{"extvalidate", "Simulator vs analytic bounds", ExtValidate},
 		{"extdegrade", "Fault injection & graceful degradation", ExtDegradation},
 		{"extgraph", "Graph workload engine: 1F1B pipeline bubbles", ExtGraph},
+		{"extintrapar", "Intra-run parallel DES: determinism and event collapse", ExtIntraPar},
 	}
 }
 
@@ -301,7 +304,7 @@ func Extensions() []Figure {
 // 2x2x2 joined by the ethernet-like spine, across collective sizes — the
 // scale-out extension's headline study.
 func ExtScaleOut(o Options) ([]*report.Table, error) {
-	up, upCfg, err := torusSystem(2, 4, 4, topology.DefaultTorusConfig(), config.Enhanced, o.Backend)
+	up, upCfg, err := torusSystem(2, 4, 4, topology.DefaultTorusConfig(), config.Enhanced, o)
 	if err != nil {
 		return nil, err
 	}
@@ -318,6 +321,7 @@ func ExtScaleOut(o Options) ([]*report.Table, error) {
 	soCfg.LocalSize, soCfg.HorizontalSize, soCfg.VerticalSize = 2, 16, 1
 	soCfg.Algorithm = config.Enhanced
 	soCfg.Backend = o.Backend
+	soCfg.IntraParallel = o.IntraParallel
 
 	net := asymmetricNet(o.CollectivePktCap)
 	type pair struct{ up, so eventq.Time }
@@ -352,11 +356,11 @@ func ExtScaleOut(o Options) ([]*report.Table, error) {
 // §III-C future work) against the ring torus and hierarchical alltoall at
 // 16 NPUs for both headline collectives.
 func ExtSwitched(o Options) ([]*report.Table, error) {
-	torusTp, torusCfg, err := torusSystem(4, 4, 1, topology.DefaultTorusConfig(), config.Baseline, o.Backend)
+	torusTp, torusCfg, err := torusSystem(4, 4, 1, topology.DefaultTorusConfig(), config.Baseline, o)
 	if err != nil {
 		return nil, err
 	}
-	a2aTp, a2aCfg, err := a2aSystem(4, 4, topology.A2AConfig{LocalRings: 2, GlobalSwitches: 2}, config.Baseline, o.Backend)
+	a2aTp, a2aCfg, err := a2aSystem(4, 4, topology.A2AConfig{LocalRings: 2, GlobalSwitches: 2}, config.Baseline, o)
 	if err != nil {
 		return nil, err
 	}
@@ -368,6 +372,7 @@ func ExtSwitched(o Options) ([]*report.Table, error) {
 	swCfg.Topology = config.AllToAll
 	swCfg.LocalSize, swCfg.HorizontalSize = 4, 4
 	swCfg.Backend = o.Backend
+	swCfg.IntraParallel = o.IntraParallel
 
 	net := asymmetricNet(o.CollectivePktCap)
 	colls := []struct {
@@ -425,17 +430,17 @@ func ExtValidate(o Options) ([]*report.Table, error) {
 		cfg  config.System
 	}
 	var targets []target
-	t3, c3, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), config.Enhanced, o.Backend)
+	t3, c3, err := torusSystem(4, 4, 4, topology.DefaultTorusConfig(), config.Enhanced, o)
 	if err != nil {
 		return nil, err
 	}
 	targets = append(targets, target{"4x4x4 enhanced", t3, c3})
-	t1, c1, err := torusSystem(1, 8, 1, topology.DefaultTorusConfig(), config.Baseline, o.Backend)
+	t1, c1, err := torusSystem(1, 8, 1, topology.DefaultTorusConfig(), config.Baseline, o)
 	if err != nil {
 		return nil, err
 	}
 	targets = append(targets, target{"1x8x1", t1, c1})
-	ta, ca, err := a2aSystem(2, 4, topology.DefaultA2AConfig(), config.Baseline, o.Backend)
+	ta, ca, err := a2aSystem(2, 4, topology.DefaultA2AConfig(), config.Baseline, o)
 	if err != nil {
 		return nil, err
 	}

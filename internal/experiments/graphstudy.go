@@ -36,7 +36,7 @@ func ExtGraph(o Options) ([]*report.Table, error) {
 	const boundaryTotal = 1 << 20 // activation bytes per boundary per minibatch
 
 	newInst := func() (*system.Instance, error) {
-		tp, cfg, err := torusSystem(1, 4, 1, topology.DefaultTorusConfig(), config.Enhanced, o.Backend)
+		tp, cfg, err := torusSystem(1, 4, 1, topology.DefaultTorusConfig(), config.Enhanced, o)
 		if err != nil {
 			return nil, err
 		}

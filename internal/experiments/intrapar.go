@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"astrasim/internal/collectives"
+	"astrasim/internal/config"
+	"astrasim/internal/parallel"
+	"astrasim/internal/report"
+	"astrasim/internal/system"
+	"astrasim/internal/topology"
+)
+
+// intraParWorkers is the worker-count sweep of the intrapar study:
+// serial reference (0), then pool widths 1/2/4. Worker count never
+// changes results — the table embeds that claim by reporting identical
+// cycles and events for every partitioned row of a shape.
+var intraParWorkers = []int{0, 1, 2, 4}
+
+// ExtIntraPar characterizes intra-run parallel simulation (internal/pdes,
+// DESIGN.md §13) across system sizes and worker counts: one enhanced
+// all-reduce per (shape, workers) cell. The table reports only
+// deterministic quantities — completion cycles, total fired events
+// across all engines, barrier windows, and shard count — so the golden
+// CSV doubles as a determinism regression: cycles MUST be identical down
+// each shape's column, and events/windows identical across partitioned
+// rows. The event reduction from serial to partitioned rows is the burst
+// fast path collapsing provably-uncongested links into analytic delays;
+// measured wall-clock speedups (machine-dependent, so not in this table)
+// are recorded in EXPERIMENTS.md and BENCH_large.{txt,json}.
+func ExtIntraPar(o Options) ([]*report.Table, error) {
+	shapes := o.IntraParShapes
+	size := o.IntraParBytes
+	net := asymmetricNet(o.CollectivePktCap)
+
+	type cell struct {
+		cycles  int64
+		events  uint64
+		windows uint64
+		shards  int
+	}
+	nW := len(intraParWorkers)
+	cells, err := parallel.Map(o.runner(), len(shapes)*nW, func(i int) (cell, error) {
+		s := shapes[i/nW]
+		workers := intraParWorkers[i%nW]
+		tp, cfg, err := torusSystem(s[0], s[1], s[2], topology.DefaultTorusConfig(), config.Enhanced, o)
+		if err != nil {
+			return cell{}, err
+		}
+		cfg.IntraParallel = workers
+		cfg.PreferredSetSplits = 1
+		inst, err := system.NewInstance(tp, cfg, net)
+		if err != nil {
+			return cell{}, err
+		}
+		done := false
+		h, err := inst.Sys.IssueCollective(collectives.AllReduce, size, "intrapar", func(*system.Handle) { done = true })
+		if err != nil {
+			return cell{}, err
+		}
+		inst.Eng.Run()
+		if !done {
+			return cell{}, fmt.Errorf("extintrapar %v w=%d: did not complete", s, workers)
+		}
+		c := cell{cycles: int64(h.Duration()), events: inst.Eng.Fired()}
+		if inst.Par != nil {
+			for _, sh := range inst.Par.Shards() {
+				c.events += sh.Fired()
+			}
+			c.windows = inst.Par.Windows()
+			c.shards = len(inst.Par.Shards())
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := report.New("extintrapar",
+		fmt.Sprintf("Intra-run parallel DES: %s enhanced all-reduce, serial vs partitioned (identical cycles = determinism)", report.Bytes(size)),
+		"shape", "npus", "workers", "cycles", "events", "windows", "shards")
+	for si, s := range shapes {
+		for wi, workers := range intraParWorkers {
+			c := cells[si*nW+wi]
+			// The golden file pins determinism; assert it here too so a
+			// violation fails the sweep loudly, not just the golden diff.
+			if c.cycles != cells[si*nW].cycles {
+				return nil, fmt.Errorf("extintrapar %v: %d cycles at %d workers, serial ran %d — intra-run parallelism changed results",
+					s, c.cycles, workers, cells[si*nW].cycles)
+			}
+			t.AddRow(fmt.Sprintf("%dx%dx%d", s[0], s[1], s[2]),
+				report.Int(int64(s[0]*s[1]*s[2])), report.Int(int64(workers)),
+				report.Int(c.cycles), report.Int(int64(c.events)),
+				report.Int(int64(c.windows)), report.Int(int64(c.shards)))
+		}
+	}
+	return []*report.Table{t}, nil
+}

@@ -16,8 +16,8 @@ import (
 
 // runTraining simulates a workload on an MxNxK torus with the enhanced
 // collective algorithm and Table IV network parameters.
-func runTraining(def workload.Definition, shape [3]int, policy config.SchedulingPolicy, passes, pktCap int, backend config.Backend) (workload.Result, error) {
-	tp, cfg, err := torusSystem(shape[0], shape[1], shape[2], topology.DefaultTorusConfig(), config.Enhanced, backend)
+func runTraining(def workload.Definition, shape [3]int, policy config.SchedulingPolicy, passes, pktCap int, o Options) (workload.Result, error) {
+	tp, cfg, err := torusSystem(shape[0], shape[1], shape[2], topology.DefaultTorusConfig(), config.Enhanced, o)
 	if err != nil {
 		return workload.Result{}, err
 	}
@@ -50,7 +50,7 @@ type resnetEntry struct {
 
 func resnetRun(o Options, shape [3]int, policy config.SchedulingPolicy, scale float64) (workload.Result, error) {
 	scale *= o.TrainComputeScale
-	key := fmt.Sprintf("%v/%v/%d/%d/%d/%g/%v", shape, policy, o.Passes, o.Batch, o.TrainingPktCap, scale, o.Backend)
+	key := fmt.Sprintf("%v/%v/%d/%d/%d/%g/%v", shape, policy, o.Passes, o.Batch, o.TrainingPktCap, scale, o)
 	resnetMu.Lock()
 	e := resnetCache[key]
 	if e == nil {
@@ -63,7 +63,7 @@ func resnetRun(o Options, shape [3]int, policy config.SchedulingPolicy, scale fl
 		if scale != 1 {
 			def = def.ScaleCompute(scale)
 		}
-		e.res, e.err = runTraining(def, shape, policy, o.Passes, o.TrainingPktCap, o.Backend)
+		e.res, e.err = runTraining(def, shape, policy, o.Passes, o.TrainingPktCap, o)
 	})
 	return e.res, e.err
 }
@@ -72,7 +72,7 @@ func resnetRun(o Options, shape [3]int, policy config.SchedulingPolicy, scale fl
 // two hybrid-parallel training iterations on a 2x2x2 torus (§V-E).
 func Fig13(o Options) ([]*report.Table, error) {
 	def := models.Transformer(compute.Default(), o.Batch, o.SeqLen).ScaleCompute(o.TrainComputeScale)
-	res, err := runTraining(def, [3]int{2, 2, 2}, config.LIFO, o.Passes, o.TrainingPktCap, o.Backend)
+	res, err := runTraining(def, [3]int{2, 2, 2}, config.LIFO, o.Passes, o.TrainingPktCap, o)
 	if err != nil {
 		return nil, err
 	}

@@ -36,6 +36,15 @@
 // Fault injection (outages, degradation windows, drops) is packet-only:
 // congestion-unaware timing under loss is not meaningful, and callers are
 // rejected at configuration time (see internal/faults).
+//
+// # Concurrency contract
+//
+// A fastnet.Network is not safe for concurrent use: like the serial
+// packet backend, it is owned by the goroutine advancing its engine.
+// It is also always serial — the backend is analytic end-to-end, so
+// config.System.IntraParallel is deliberately ignored (there is no event
+// load to shard). Distinct instances share nothing and may run on
+// distinct goroutines freely, which is how sweeps parallelize.
 package fastnet
 
 import (

@@ -118,21 +118,21 @@ func TestPoisonedFreeListCleanRun(t *testing.T) {
 func TestPoisonDetectsDoubleFree(t *testing.T) {
 	_, _, net := ring4(t, config.DefaultNetwork())
 	net.SetPoisonFreeList(true)
-	p := net.allocPacket(&Message{Bytes: 64}, 64, 0)
-	net.freePacket(p)
+	p := net.allocPacket(&net.pktFree, &Message{Bytes: 64}, 64, 0)
+	net.freePacket(&net.pktFree, p)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("double free not detected")
 		}
 	}()
-	net.freePacket(p)
+	net.freePacket(&net.pktFree, p)
 }
 
 func TestPoisonDetectsUseAfterFree(t *testing.T) {
 	_, _, net := ring4(t, config.DefaultNetwork())
 	net.SetPoisonFreeList(true)
-	p := net.allocPacket(&Message{Bytes: 64}, 64, 0)
-	net.freePacket(p)
+	p := net.allocPacket(&net.pktFree, &Message{Bytes: 64}, 64, 0)
+	net.freePacket(&net.pktFree, p)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("use of freed packet not detected")
@@ -146,9 +146,9 @@ func TestPoisonDetectsUseAfterFree(t *testing.T) {
 func TestPoisonedPacketRecycledClean(t *testing.T) {
 	_, _, net := ring4(t, config.DefaultNetwork())
 	net.SetPoisonFreeList(true)
-	p := net.allocPacket(&Message{Bytes: 64}, 64, 0)
-	net.freePacket(p)
-	q := net.allocPacket(&Message{Bytes: 128}, 128, 1)
+	p := net.allocPacket(&net.pktFree, &Message{Bytes: 64}, 64, 0)
+	net.freePacket(&net.pktFree, p)
+	q := net.allocPacket(&net.pktFree, &Message{Bytes: 128}, 128, 1)
 	if q != p {
 		t.Fatal("free list did not recycle the freed packet")
 	}

@@ -26,6 +26,18 @@
 // accrue to a per-class shortfall ledger (DroppedPathBytesByClass) that
 // keeps the audit layer's byte conservation exact under loss. Fault-free
 // links pay only a nil check.
+//
+// # Concurrency contract
+//
+// A Network is single-threaded by default: it is owned by the goroutine
+// that advances its engine, and nothing in it is safe for concurrent
+// use. Partition (the intra-run parallel mode, internal/pdes) rebinds
+// each link to a shard engine; from then on a link is owned by whichever
+// pool worker is advancing its shard's window, and the only cross-engine
+// traffic is (a) main→shard injections spliced before the shard runs and
+// (b) shard→main deliveries buffered per-shard and flushed by FlushCross
+// under the runner's barrier. No locks are taken on the packet hot path
+// in either mode; the window protocol is the synchronization.
 package noc
 
 import (
@@ -93,14 +105,16 @@ type packet struct {
 	pathPos int
 }
 
-// allocPacket takes a packet from the network's free list, or heap-allocates
+// allocPacket takes a packet from the given free list, or heap-allocates
 // when the list is empty. Retired packets return via freePacket, so a
 // steady-state run recycles a small working set instead of allocating one
-// packet per hop. Single-threaded per network: no locking.
-func (n *Network) allocPacket(msg *Message, bytes int64, pathPos int) *packet {
-	if last := len(n.pktFree) - 1; last >= 0 && !n.noFreeList {
-		p := n.pktFree[last]
-		n.pktFree = n.pktFree[:last]
+// packet per hop. Each list is owned by exactly one engine (the network's
+// in serial mode, one per shard when partitioned), so no locking: a
+// packet lives and dies on the component it was injected into.
+func (n *Network) allocPacket(pool *[]*packet, msg *Message, bytes int64, pathPos int) *packet {
+	if last := len(*pool) - 1; last >= 0 && !n.noFreeList {
+		p := (*pool)[last]
+		*pool = (*pool)[:last]
 		p.msg, p.bytes, p.pathPos = msg, bytes, pathPos
 		return p
 	}
@@ -108,7 +122,7 @@ func (n *Network) allocPacket(msg *Message, bytes int64, pathPos int) *packet {
 }
 
 // freePacket recycles a packet the simulation no longer references.
-func (n *Network) freePacket(p *packet) {
+func (n *Network) freePacket(pool *[]*packet, p *packet) {
 	if n.noFreeList {
 		return
 	}
@@ -120,7 +134,7 @@ func (n *Network) freePacket(p *packet) {
 		p.pathPos = -1
 	}
 	p.msg = nil
-	n.pktFree = append(n.pktFree, p)
+	*pool = append(*pool, p)
 }
 
 // Window is a half-open interval [Start, End) of simulation cycles during
@@ -228,6 +242,27 @@ type LinkStats struct {
 type link struct {
 	spec topology.LinkSpec
 	net  *Network
+	// eng is the engine this link's events run on: the network's main
+	// engine, or — when the network is partitioned for intra-run
+	// parallelism — the shard engine owning the link's component.
+	eng *eventq.Engine
+	// sh is nil in serial mode; when partitioned it is the link's shard
+	// context (free list + outbox toward the main engine).
+	sh *shard
+	// comp is the link's 1-based partition component (0 when serial),
+	// stamped into event-ordering keys so cross-engine events sort
+	// deterministically (see eventq.Key).
+	comp uint32
+	// noTransit marks links no collective lane uses at path position
+	// >= 1: traffic only enters by source injection, which licenses the
+	// idle-link burst collapse (see collapseBurst).
+	noTransit bool
+	// pool is the packet free list this link allocates from: the
+	// network-wide list in serial mode, the owning shard's otherwise.
+	pool *[]*packet
+
+	// burst is the in-flight collapsed burst, if any (see collapseBurst).
+	burst burstState
 
 	// serialization rate in effective bytes/cycle (bandwidth x efficiency)
 	effBW float64
@@ -275,7 +310,7 @@ type link struct {
 func (l *link) serCycles(bytes int64) eventq.Time {
 	bw := l.effBW
 	if f := l.fault; f != nil {
-		bw *= f.degradeFactor(l.net.eng.Now())
+		bw *= f.degradeFactor(l.eng.Now())
 	}
 	exact := float64(bytes)/bw + l.serCarry
 	c := eventq.Time(exact)
@@ -321,6 +356,12 @@ type Network struct {
 	// correction term the audit layer applies to per-class conservation.
 	dropStats        FaultStats
 	shortfallByClass [int(topology.ScaleOutLink) + 1]int64
+
+	// shards, when non-nil, are the per-partition execution contexts of
+	// an intra-run parallel simulation (see Partition); noCollapse
+	// disables the idle-link burst fast path for A/B testing.
+	shards     []*shard
+	noCollapse bool
 }
 
 // poisonBytes is the sentinel stamped into freed packets in poison mode;
@@ -355,7 +396,7 @@ func New(eng *eventq.Engine, topo topology.Topology, p config.Network) (*Network
 		flitBytes = 1
 	}
 	for _, spec := range topo.Links() {
-		l := &link{spec: spec, net: n}
+		l := &link{spec: spec, net: n, eng: eng, pool: &n.pktFree}
 		switch spec.Class {
 		case topology.IntraPackage:
 			l.effBW = p.LocalLinkBandwidth * p.LocalLinkEfficiency
@@ -425,7 +466,10 @@ func (n *Network) pathPacketSize(path []topology.LinkID) int64 {
 
 // Send injects msg. The message must have a non-empty path and positive
 // size. Packets are enqueued on the first link immediately; queuing delay
-// accrues there until serialization begins.
+// accrues there until serialization begins. On a partitioned network the
+// packetization is deferred to the owning shard's engine under the
+// sender's splice key, which preserves the serial event order exactly
+// (see internal/pdes).
 func (n *Network) Send(msg *Message) {
 	if len(msg.Path) == 0 {
 		panic("noc: message with empty path")
@@ -441,12 +485,48 @@ func (n *Network) Send(msg *Message) {
 	}
 
 	first := n.links[msg.Path[0]]
-	pktSize := n.pathPacketSize(msg.Path)
-	numPkts := (msg.Bytes + pktSize - 1) / pktSize
+	if first.sh != nil {
+		for _, id := range msg.Path[1:] {
+			if n.links[id].sh != first.sh {
+				// The partition plan keeps every collective lane inside one
+				// component; a path crossing shards can only come from an
+				// unplanned routing mode (point-to-point is rejected
+				// upstream with a friendly error).
+				panic(fmt.Sprintf("noc: message path crosses partition shards (links %d and %d)", msg.Path[0], id))
+			}
+		}
+		k, sub := n.eng.SpliceKey()
+		first.sh.eng.InjectAt(n.eng.Now(), k, sub, shardInject, n, msg)
+		return
+	}
+	// Serial mode: stamp the link's component (assigned by
+	// AssignOrderingComps; 0 when the topology has no partition plan) for
+	// the duration of the packetization so the packets' events — and
+	// everything they transitively create — carry the same ordering keys
+	// a partitioned run would produce (see shardInject).
+	prev := n.eng.FiringComp()
+	n.eng.SetFiringComp(first.comp)
+	n.packetize(first, msg)
+	n.eng.SetFiringComp(prev)
+}
+
+// packetPlan computes the packet size and count for msg along its path
+// (smallest class packet size along the path, capped by
+// MaxPacketsPerMessage).
+func (n *Network) packetPlan(msg *Message) (pktSize, numPkts int64) {
+	pktSize = n.pathPacketSize(msg.Path)
+	numPkts = (msg.Bytes + pktSize - 1) / pktSize
 	if maxP := int64(n.params.MaxPacketsPerMessage); maxP > 0 && numPkts > maxP {
 		numPkts = maxP
 		pktSize = (msg.Bytes + numPkts - 1) / numPkts
 	}
+	return pktSize, numPkts
+}
+
+// packetize decomposes msg into packets on its first link (serial mode,
+// or a shard engine executing a deferred injection).
+func (n *Network) packetize(first *link, msg *Message) {
+	pktSize, numPkts := n.packetPlan(msg)
 	msg.packetsLeft = int(numPkts)
 	remaining := msg.Bytes
 	for i := int64(0); i < numPkts; i++ {
@@ -455,7 +535,7 @@ func (n *Network) Send(msg *Message) {
 			b = remaining
 		}
 		remaining -= b
-		first.enqueueFromSource(n.allocPacket(msg, b, 0))
+		first.enqueueFromSource(n.allocPacket(first.pool, msg, b, 0))
 	}
 }
 
@@ -470,7 +550,13 @@ func (l *link) qpush(p *packet) {
 		l.head = 0
 	}
 	l.queue = append(l.queue, p)
-	if n := l.qlen(); n > l.stats.PeakQueue {
+	n := l.qlen()
+	if l.burst.active {
+		// Packets of a collapsed burst are virtual; count the ones still
+		// outstanding so PeakQueue matches what the serial run would see.
+		n += l.burstRemaining(l.eng.Now())
+	}
+	if n > l.stats.PeakQueue {
 		l.stats.PeakQueue = n
 	}
 }
@@ -492,7 +578,7 @@ func (l *link) hasSpace() bool { return l.qlen()+l.reserved < l.capPackets }
 // queue after the upstream wire latency plus one router hop.
 func (l *link) acceptFromNetwork(p *packet, wireDelay eventq.Time) {
 	l.reserved++
-	l.net.eng.Call(wireDelay, linkArrive, l, p)
+	l.eng.Call(wireDelay, linkArrive, l, p)
 }
 
 // linkArrive is the eventq.CallFunc that lands packet b on link a after
@@ -515,10 +601,10 @@ func (l *link) kick() {
 		return
 	}
 	if f := l.fault; f != nil {
-		if until, down := f.outageUntil(l.net.eng.Now()); down {
+		if until, down := f.outageUntil(l.eng.Now()); down {
 			if !f.wakeArmed {
 				f.wakeArmed = true
-				l.net.eng.CallAt(until, linkOutageLifted, l, nil)
+				l.eng.CallAt(until, linkOutageLifted, l, nil)
 			}
 			return
 		}
@@ -530,13 +616,13 @@ func (l *link) kick() {
 	l.busy = true
 	if !p.msg.started && p.pathPos == 0 {
 		p.msg.started = true
-		p.msg.SerStart = l.net.eng.Now()
+		p.msg.SerStart = l.eng.Now()
 	}
 	// The head packet stays at queue[0] until forward() retires it, so
 	// only one serialization is ever in flight per link and curSer is
 	// unambiguous.
 	l.curSer = l.serCycles(p.bytes)
-	l.net.eng.Call(l.curSer, linkSerDone, l, p)
+	l.eng.Call(l.curSer, linkSerDone, l, p)
 }
 
 // linkSerDone is the eventq.CallFunc that fires when link a finishes
@@ -598,14 +684,24 @@ func (l *link) forward(p *packet) {
 		next := l.net.links[p.msg.Path[p.pathPos+1]]
 		if !next.hasSpace() {
 			l.blocked = true
-			l.blockStart = l.net.eng.Now()
+			l.blockStart = l.eng.Now()
 			next.waiters = append(next.waiters, l)
 			return
 		}
 		next.acceptFromNetwork(l.advanced(p), l.hopDelay())
+	} else if l.sh != nil {
+		// Final hop on a partitioned network: the delivery belongs to the
+		// main engine. Buffer it in the shard's outbox under a key that
+		// places it exactly where the serial engine would fire it; the
+		// pdes runner injects it at the window barrier.
+		l.sh.out = append(l.sh.out, outEvent{
+			at:  l.eng.Now() + l.hopDelay(),
+			key: l.eng.EventKey(),
+			msg: p.msg,
+		})
 	} else {
 		// Final hop: arrival at the destination endpoint.
-		l.net.eng.Call(l.hopDelay(), packetDelivered, l.net, p.msg)
+		l.eng.Call(l.hopDelay(), packetDelivered, l.net, p.msg)
 	}
 	l.finishHead(p)
 }
@@ -628,7 +724,7 @@ func packetDelivered(a, b any) {
 // position. The original stays at this link's queue head until finishHead
 // retires (and frees) it.
 func (l *link) advanced(p *packet) *packet {
-	return l.net.allocPacket(p.msg, p.bytes, p.pathPos+1)
+	return l.net.allocPacket(l.pool, p.msg, p.bytes, p.pathPos+1)
 }
 
 // finishHead retires the serialized head packet and restarts the pipeline.
@@ -640,7 +736,7 @@ func (l *link) finishHead(p *packet) {
 	l.qpop()
 	l.busy = false
 	l.blocked = false
-	l.net.freePacket(p)
+	l.net.freePacket(l.pool, p)
 	l.kick()
 	l.releaseWaiters()
 }
@@ -651,7 +747,7 @@ func (l *link) releaseWaiters() {
 		w := l.waiters[0]
 		l.waiters = l.waiters[1:]
 		p := w.queue[w.head]
-		w.stats.BlockedCycles += l.net.eng.Now() - w.blockStart
+		w.stats.BlockedCycles += l.eng.Now() - w.blockStart
 		l.acceptFromNetwork(w.advanced(p), w.hopDelay())
 		// The waiting link's serializer was blocked, not re-run: retire
 		// its head now that the hand-off succeeded.
@@ -697,6 +793,9 @@ func (n *Network) ScaleLinkBandwidth(id topology.LinkID, factor float64) {
 // error so fault state reachable from user-supplied plans can never take
 // a long-running process down.
 func (n *Network) SetLinkFaults(id topology.LinkID, f LinkFaults, seed uint64) error {
+	if n.shards != nil {
+		return fmt.Errorf("noc: link faults are not supported with intra-run parallelism; run with IntraParallel=0 (serial engine) for fault injection")
+	}
 	if id < 0 || int(id) >= len(n.links) {
 		return fmt.Errorf("noc: link %d out of range (%d links)", id, len(n.links))
 	}
@@ -771,10 +870,17 @@ func (n *Network) UtilizationByClass(until eventq.Time) map[topology.LinkClass]C
 	return out
 }
 
-// Quiet reports whether no packets are queued or in flight on any link.
+// Quiet reports whether no packets are queued or in flight on any link,
+// and (on a partitioned network) no delivery is buffered toward the main
+// engine.
 func (n *Network) Quiet() bool {
 	for _, l := range n.links {
 		if l.busy || l.qlen() > 0 || l.reserved > 0 {
+			return false
+		}
+	}
+	for _, sh := range n.shards {
+		if len(sh.out) > 0 {
 			return false
 		}
 	}

@@ -1,0 +1,281 @@
+package noc
+
+// Intra-run parallel execution support (the `-intra-parallel` flag,
+// internal/pdes, DESIGN.md §13). Partition rebinds every link to a shard
+// engine; Send defers packetization to the owning shard under the
+// sender's splice key; final-hop deliveries are buffered per shard and
+// injected into the main engine at each window barrier (FlushCross).
+// Everything here preserves the serial event order exactly — the
+// differential suite in internal/pdes compares full runs byte-for-byte.
+
+import (
+	"fmt"
+
+	"astrasim/internal/eventq"
+)
+
+// shard is the execution context of one partition: the engine its links
+// run on, a private packet free list (so the hot path stays lock-free
+// and allocation-free per shard), and the outbox buffering deliveries
+// bound for the main engine until the next window barrier.
+type shard struct {
+	eng  *eventq.Engine
+	free []*packet
+	out  []outEvent
+}
+
+// outEvent is one buffered shard→main delivery: packetDelivered(msg) at
+// absolute time at, ordered by the creating shard's key.
+type outEvent struct {
+	at  eventq.Time
+	key eventq.Key
+	msg *Message
+}
+
+// Partition rebinds the network's links to shard engines for intra-run
+// parallel execution: comp assigns every link a 1-based component
+// (component c runs on shards[(c-1) % len(shards)]), noTransit flags
+// links that never appear at path position >= 1 (licensing the burst
+// fast path). Both slices come from a pdes.Plan. Partition must be
+// called once, before any traffic is injected.
+func (n *Network) Partition(shards []*eventq.Engine, comp []int32, noTransit []bool) error {
+	if n.shards != nil {
+		return fmt.Errorf("noc: network is already partitioned")
+	}
+	if len(shards) == 0 {
+		return fmt.Errorf("noc: partition needs at least one shard engine")
+	}
+	if len(comp) != len(n.links) || len(noTransit) != len(n.links) {
+		return fmt.Errorf("noc: partition plan covers %d links, network has %d", len(comp), len(n.links))
+	}
+	if n.nextID != 0 {
+		return fmt.Errorf("noc: cannot partition after traffic was injected")
+	}
+	n.shards = make([]*shard, len(shards))
+	for i, eng := range shards {
+		n.shards[i] = &shard{eng: eng}
+	}
+	for i, l := range n.links {
+		c := comp[i]
+		if c < 1 {
+			return fmt.Errorf("noc: link %d has invalid component %d (components are 1-based)", i, c)
+		}
+		sh := n.shards[int(c-1)%len(n.shards)]
+		l.sh = sh
+		l.eng = sh.eng
+		l.comp = uint32(c)
+		l.noTransit = noTransit[i]
+		l.pool = &sh.free
+	}
+	return nil
+}
+
+// Partitioned reports whether the network runs under intra-run
+// parallelism.
+func (n *Network) Partitioned() bool { return n.shards != nil }
+
+// AssignOrderingComps stamps the partition plan's component labels onto
+// the links of a SERIAL network without rebinding anything to shard
+// engines. Serial and partitioned runs then tie-break simultaneous
+// events with the very same six-field key — component before creation
+// sequence — which is what makes -intra-parallel byte-identical to the
+// serial engine on every topology, including ones where events from
+// different components collide on the same (time, ctime, gen2) prefix.
+// Must be called before any traffic is injected.
+func (n *Network) AssignOrderingComps(comp []int32) error {
+	if n.shards != nil {
+		return fmt.Errorf("noc: network is already partitioned")
+	}
+	if len(comp) != len(n.links) {
+		return fmt.Errorf("noc: partition plan covers %d links, network has %d", len(comp), len(n.links))
+	}
+	if n.nextID != 0 {
+		return fmt.Errorf("noc: cannot assign components after traffic was injected")
+	}
+	for i, l := range n.links {
+		c := comp[i]
+		if c < 1 {
+			return fmt.Errorf("noc: link %d has invalid component %d (components are 1-based)", i, c)
+		}
+		l.comp = uint32(c)
+	}
+	return nil
+}
+
+// SetFlowCollapse toggles the idle-link burst fast path (on by default
+// when partitioned). Turning it off forces every packet through the
+// event loop — the A/B lever the differential suite uses to attribute
+// any divergence.
+func (n *Network) SetFlowCollapse(on bool) { n.noCollapse = !on }
+
+// FlushCross injects every buffered shard→main delivery into the main
+// engine. The pdes runner calls it at each window barrier, when it owns
+// all engines exclusively. Injection order (shard index, then creation
+// order) is deterministic, and each event's final position comes from
+// its explicit key, so the main engine fires deliveries in exactly the
+// serial order.
+func (n *Network) FlushCross() {
+	for _, sh := range n.shards {
+		for i := range sh.out {
+			ev := &sh.out[i]
+			n.eng.InjectAt(ev.at, ev.key, 0, packetDelivered, n, ev.msg)
+			ev.msg = nil
+		}
+		sh.out = sh.out[:0]
+	}
+}
+
+// shardInject is the eventq.CallFunc a deferred Send lands on: it runs on
+// the first link's shard engine, under the sender's splice key, and
+// performs the packetization Send would have done inline on the serial
+// engine. It reassigns the firing component to the link's, so every
+// event the packets generate carries the right component in its ordering
+// key.
+func shardInject(a, b any) {
+	n, msg := a.(*Network), b.(*Message)
+	first := n.links[msg.Path[0]]
+	first.eng.SetFiringComp(first.comp)
+	if first.canCollapse(msg) {
+		first.collapseBurst(msg)
+		return
+	}
+	n.packetize(first, msg)
+}
+
+// burstState is an in-flight collapsed burst: a whole message's packet
+// train bound for an idle no-transit link, reduced to two events (see
+// collapseBurst). The stored parameters let remaining() reconstruct the
+// per-packet serialization chain exactly.
+type burstState struct {
+	active  bool
+	msg     *Message
+	start   eventq.Time // when serialization of the first packet began
+	busy    eventq.Time // total serialization time (ends at start+busy)
+	pktSize int64
+	numPkts int64
+	carry0  float64 // serCarry at burst start, for exact replay
+}
+
+// canCollapse reports whether msg can take the flow-level fast path on
+// first: a single-link path onto an idle, unfaulted, no-transit link. An
+// idle no-transit link is provably uncongested — nothing can preempt or
+// interleave with the burst, because later sends queue FIFO behind it
+// and no upstream link can feed packets in — so per-packet simulation is
+// observationally equivalent to the closed form (the oracle's admission
+// argument, applied per message at runtime).
+func (l *link) canCollapse(msg *Message) bool {
+	return !l.net.noCollapse && len(msg.Path) == 1 && l.noTransit &&
+		!l.busy && !l.blocked && l.qlen() == 0 && l.reserved == 0 &&
+		len(l.waiters) == 0 && l.fault == nil
+}
+
+// collapseBurst serializes msg's whole packet train in closed form: one
+// burstDone event at the end of serialization (committing stats and
+// restarting the FIFO) and one delivery to the main engine, instead of
+// three events per packet. The per-packet carry chain is replayed
+// exactly — including the one-cycle minimum and the fractional
+// remainder — so link occupancy, serCarry, message timestamps, and the
+// delivery's ordering key are bit-identical to the serial run.
+// Intermediate per-packet deliveries are unobservable (they only
+// decrement packetsLeft), so only the final one is materialized.
+func (l *link) collapseBurst(msg *Message) {
+	pktSize, numPkts := l.net.packetPlan(msg)
+	now := l.eng.Now()
+	msg.started = true
+	msg.SerStart = now
+	msg.packetsLeft = 1 // the single materialized (final) delivery
+
+	b := &l.burst
+	b.active = true
+	b.msg = msg
+	b.start = now
+	b.pktSize = pktSize
+	b.numPkts = numPkts
+	b.carry0 = l.serCarry
+
+	bw := l.effBW
+	carry := l.serCarry
+	var busy, lastStart eventq.Time
+	remaining := msg.Bytes
+	for i := int64(0); i < numPkts; i++ {
+		pb := pktSize
+		if pb > remaining {
+			pb = remaining
+		}
+		remaining -= pb
+		lastStart = busy
+		exact := float64(pb)/bw + carry
+		c := eventq.Time(exact)
+		carry = exact - float64(c)
+		if c == 0 {
+			c = 1
+			carry = 0
+		}
+		busy += c
+	}
+	l.serCarry = carry
+	b.busy = busy
+	l.busy = true
+
+	// Serial PeakQueue counts the whole train queued at injection.
+	if int(numPkts) > l.stats.PeakQueue {
+		l.stats.PeakQueue = int(numPkts)
+	}
+
+	end := now + busy
+	// The delivery's key replicates the serial one: created at end by the
+	// last packet's linkSerDone, whose own creation time is that packet's
+	// serialization start.
+	k := l.eng.EventKey()
+	k.Ctime = end
+	k.Gen2 = now + lastStart
+	l.sh.out = append(l.sh.out, outEvent{at: end + l.hopDelay(), key: k, msg: msg})
+	l.eng.Call(busy, burstDone, l, nil)
+}
+
+// burstDone is the eventq.CallFunc that retires a collapsed burst: it
+// commits the deferred link stats and frees the serializer for whatever
+// queued behind the burst. Bursts are never canceled, so exactly one
+// burstDone fires per collapse.
+func burstDone(a, _ any) {
+	l := a.(*link)
+	b := &l.burst
+	l.stats.Packets += uint64(b.numPkts)
+	l.stats.Bytes += b.msg.Bytes
+	l.stats.BusyCycles += b.busy
+	b.active = false
+	b.msg = nil
+	l.busy = false
+	l.kick()
+}
+
+// burstRemaining reconstructs how many of the in-flight burst's packets
+// are still queued or serializing at time t, by replaying the carry
+// chain (effBW cannot change mid-run on a fault-free link, so the replay
+// is exact) — used only to keep PeakQueue accounting honest when a later
+// message queues behind the burst.
+func (l *link) burstRemaining(t eventq.Time) int {
+	b := &l.burst
+	end := b.start
+	carry := b.carry0
+	remaining := b.msg.Bytes
+	for i := int64(0); i < b.numPkts; i++ {
+		pb := b.pktSize
+		if pb > remaining {
+			pb = remaining
+		}
+		remaining -= pb
+		exact := float64(pb)/l.effBW + carry
+		c := eventq.Time(exact)
+		carry = exact - float64(c)
+		if c == 0 {
+			c = 1
+			carry = 0
+		}
+		end += c
+		if end > t {
+			return int(b.numPkts - i)
+		}
+	}
+	return 0
+}

@@ -15,6 +15,19 @@
 // builds its own Engine/Network/System), and each job's result must be a
 // pure function of its index. Read-only inputs (topologies, configs,
 // options) may be shared freely.
+//
+// # Concurrency contract
+//
+// Runner, Map and ForEach are driven from one goroutine; the jobs they
+// run execute on up to Workers pool goroutines and must be mutually
+// independent, as above. ShardPool is the second, lower-level primitive
+// (used by internal/pdes): long-lived workers that repeatedly execute a
+// strided round over N shards with a full barrier per round — Run does
+// not return until every worker has finished, so shard state needs no
+// locks between rounds. A ShardPool is owned by one driving goroutine;
+// only Run and Close may be called on it, never concurrently. Worker
+// panics are re-raised on the caller lowest-index-first after the
+// barrier, leaving the pool reusable.
 package parallel
 
 import (

@@ -1,6 +1,7 @@
-package parallel
+package parallel_test
 
 import (
+	"astrasim/internal/parallel"
 	"errors"
 	"fmt"
 	"runtime"
@@ -20,26 +21,26 @@ func TestWorkersClamp(t *testing.T) {
 	}{
 		{1, 1}, {4, 4}, {0, runtime.NumCPU()}, {-3, runtime.NumCPU()},
 	} {
-		if got := New(tc.in).Workers(); got != tc.want {
+		if got := parallel.New(tc.in).Workers(); got != tc.want {
 			t.Errorf("New(%d).Workers() = %d, want %d", tc.in, got, tc.want)
 		}
 	}
-	var zero Runner
+	var zero parallel.Runner
 	if zero.Workers() != 1 {
-		t.Errorf("zero Runner.Workers() = %d, want 1", zero.Workers())
+		t.Errorf("zero parallel.Runner.Workers() = %d, want 1", zero.Workers())
 	}
-	if (*Runner)(nil).Workers() != 1 {
-		t.Error("nil Runner.Workers() should be 1")
+	if (*parallel.Runner)(nil).Workers() != 1 {
+		t.Error("nil parallel.Runner.Workers() should be 1")
 	}
-	if Serial().Workers() != 1 {
+	if parallel.Serial().Workers() != 1 {
 		t.Error("Serial().Workers() should be 1")
 	}
 }
 
 func TestMapOrderedResults(t *testing.T) {
 	for _, workers := range []int{1, 2, 3, 8, 32} {
-		r := New(workers)
-		got, err := Map(r, 100, func(i int) (int, error) { return i * i, nil })
+		r := parallel.New(workers)
+		got, err := parallel.Map(r, 100, func(i int) (int, error) { return i * i, nil })
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -55,7 +56,7 @@ func TestMapOrderedResults(t *testing.T) {
 }
 
 func TestMapEmpty(t *testing.T) {
-	got, err := Map(New(4), 0, func(int) (int, error) { return 0, errors.New("never") })
+	got, err := parallel.Map(parallel.New(4), 0, func(int) (int, error) { return 0, errors.New("never") })
 	if err != nil || got != nil {
 		t.Fatalf("Map of 0 jobs = %v, %v; want nil, nil", got, err)
 	}
@@ -64,8 +65,8 @@ func TestMapEmpty(t *testing.T) {
 func TestMapLowestIndexErrorWins(t *testing.T) {
 	// Job 7 fails fast, job 2 fails slow: the reported error must be job
 	// 2's regardless of completion order.
-	r := New(4)
-	_, err := Map(r, 10, func(i int) (int, error) {
+	r := parallel.New(4)
+	_, err := parallel.Map(r, 10, func(i int) (int, error) {
 		switch i {
 		case 2:
 			time.Sleep(20 * time.Millisecond)
@@ -83,7 +84,7 @@ func TestMapLowestIndexErrorWins(t *testing.T) {
 func TestMapAllJobsRunDespiteError(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		var ran atomic.Int64
-		_, err := Map(New(workers), 20, func(i int) (int, error) {
+		_, err := parallel.Map(parallel.New(workers), 20, func(i int) (int, error) {
 			ran.Add(1)
 			if i == 0 {
 				return 0, errors.New("first job fails")
@@ -107,7 +108,7 @@ func TestMapPanicPropagates(t *testing.T) {
 					t.Errorf("workers=%d: panic did not propagate", workers)
 				}
 			}()
-			Map(New(workers), 8, func(i int) (int, error) {
+			parallel.Map(parallel.New(workers), 8, func(i int) (int, error) {
 				if i == 3 {
 					panic("boom")
 				}
@@ -119,7 +120,7 @@ func TestMapPanicPropagates(t *testing.T) {
 
 func TestForEach(t *testing.T) {
 	var sum atomic.Int64
-	if err := ForEach(New(4), 50, func(i int) error {
+	if err := parallel.ForEach(parallel.New(4), 50, func(i int) error {
 		sum.Add(int64(i))
 		return nil
 	}); err != nil {
@@ -133,7 +134,7 @@ func TestForEach(t *testing.T) {
 func TestMapBoundsConcurrency(t *testing.T) {
 	var cur, peak atomic.Int64
 	workers := 3
-	if err := ForEach(New(workers), 30, func(int) error {
+	if err := parallel.ForEach(parallel.New(workers), 30, func(int) error {
 		c := cur.Add(1)
 		for {
 			p := peak.Load()
@@ -169,7 +170,7 @@ func TestSimulationJobsDeterministic(t *testing.T) {
 		cfg.LocalSize, cfg.HorizontalSize, cfg.VerticalSize = 2, 2, 2
 		net := config.DefaultNetwork()
 		net.MaxPacketsPerMessage = 16
-		out, err := Map(New(workers), len(sizes), func(i int) (uint64, error) {
+		out, err := parallel.Map(parallel.New(workers), len(sizes), func(i int) (uint64, error) {
 			h, err := system.RunCollective(topo, cfg, net, collectives.AllReduce, sizes[i])
 			if err != nil {
 				return 0, err

@@ -1,0 +1,230 @@
+package pdes
+
+// White-box shard-boundary tests: the degenerate single-shard partition,
+// deliveries landing exactly on the lookahead horizon, and Stop freezing
+// the windowed run — all driven directly at the noc level so the runner's
+// mechanics are visible without the system layer on top.
+
+import (
+	"testing"
+
+	"astrasim/internal/cli"
+	"astrasim/internal/config"
+	"astrasim/internal/eventq"
+	"astrasim/internal/noc"
+	"astrasim/internal/topology"
+)
+
+// buildNet constructs a packet network over spec on a fresh engine.
+func buildNet(t *testing.T, spec string) (*eventq.Engine, *noc.Network, topology.Topology, config.Network) {
+	t.Helper()
+	cfg := config.DefaultSystem()
+	topo, err := cli.BuildTopology(spec, cli.DefaultTopologyOptions(), &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netCfg := config.DefaultNetwork()
+	eng := eventq.New()
+	nn, err := noc.New(eng, topo, netCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, nn, topo, netCfg
+}
+
+// ringSends injects one message per NPU along its local ring successor
+// and records delivery times.
+func ringSends(eng *eventq.Engine, nn *noc.Network, topo topology.Topology, bytes int64) *[]eventq.Time {
+	times := &[]eventq.Time{}
+	for n := 0; n < topo.NumNPUs(); n++ {
+		node := topology.Node(n)
+		r := topo.RingOf(topology.DimLocal, node, 0)
+		if r.Size() <= 1 {
+			continue
+		}
+		msg := &noc.Message{
+			Src: node, Dst: r.Next(node), Bytes: bytes,
+			Path:        topo.PathLinks(topology.DimLocal, 0, node, r.Next(node)),
+			OnDelivered: func(m *noc.Message) { *times = append(*times, m.Delivered) },
+		}
+		nn.Send(msg)
+	}
+	return times
+}
+
+// TestSinglePartitionDegenerate forces every component onto ONE shard
+// engine — the degenerate partition — and requires delivery times
+// identical to the serial engine. This isolates the window protocol and
+// key-carrying injection from any effect of partition layout.
+func TestSinglePartitionDegenerate(t *testing.T) {
+	const bytes = 4096
+	// Serial reference.
+	sEng, sNet, sTopo, _ := buildNet(t, "4x1x1")
+	want := ringSends(sEng, sNet, sTopo, bytes)
+	sEng.Run()
+
+	// Degenerate partition: one shard engine for all components.
+	eng, nn, topo, netCfg := buildNet(t, "4x1x1")
+	plan, err := BuildPlan(topo, netCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumComps < 2 {
+		t.Fatalf("want a multi-component plan to degenerate, got %d components", plan.NumComps)
+	}
+	r := &Runner{main: eng, shards: []*eventq.Engine{eventq.New()}, look: plan.Lookahead, workers: 1}
+	if err := nn.Partition(r.Shards(), plan.Comp, plan.NoTransit); err != nil {
+		t.Fatal(err)
+	}
+	r.SetFlush(nn.FlushCross)
+	eng.SetDriver(r.Drive)
+	got := ringSends(eng, nn, topo, bytes)
+	eng.Run()
+
+	if len(*got) != len(*want) || len(*want) == 0 {
+		t.Fatalf("delivered %d messages, serial delivered %d", len(*got), len(*want))
+	}
+	for i := range *want {
+		if (*got)[i] != (*want)[i] {
+			t.Fatalf("delivery %d at cycle %d, serial at %d", i, (*got)[i], (*want)[i])
+		}
+	}
+	if r.Windows() == 0 {
+		t.Fatal("windowed driver never ran a window")
+	}
+}
+
+// TestLookaheadHorizonDelivery pins the boundary case the window proof
+// hinges on: on an all-local topology every hop delay EQUALS the
+// lookahead, so every shard→main delivery lands exactly at t+L — one
+// cycle past the window [t, t+L-1]. Those deliveries must be flushed and
+// fired, not lost, and timing must match serial exactly.
+func TestLookaheadHorizonDelivery(t *testing.T) {
+	eng, nn, topo, netCfg := buildNet(t, "4x1x1")
+	plan, err := BuildPlan(topo, netCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHop := eventq.Time(netCfg.LocalLinkLatency + netCfg.RouterLatency)
+	if plan.Lookahead != wantHop {
+		t.Fatalf("all-local topology: lookahead %d, want the local hop delay %d", plan.Lookahead, wantHop)
+	}
+
+	sEng, sNet, sTopo, _ := buildNet(t, "4x1x1")
+	want := ringSends(sEng, sNet, sTopo, 64) // one packet per message: delivery exactly at serialization + L
+	sEng.Run()
+
+	r := NewRunner(eng, plan, 2)
+	if err := nn.Partition(r.Shards(), plan.Comp, plan.NoTransit); err != nil {
+		t.Fatal(err)
+	}
+	r.SetFlush(nn.FlushCross)
+	eng.SetDriver(r.Drive)
+	got := ringSends(eng, nn, topo, 64)
+	end := eng.Run()
+
+	if len(*got) != len(*want) || len(*want) == 0 {
+		t.Fatalf("delivered %d messages, serial delivered %d", len(*got), len(*want))
+	}
+	for i := range *want {
+		if (*got)[i] != (*want)[i] {
+			t.Fatalf("delivery %d at cycle %d, serial at %d", i, (*got)[i], (*want)[i])
+		}
+	}
+	// The windowed driver tiles the clock to the end of the final window,
+	// so the unbounded Run return is >= the serial end time but within one
+	// lookahead window of it. All observable results (delivery times,
+	// handle durations) are exact; only the post-quiescence clock differs.
+	if end < sEng.Now() || end >= sEng.Now()+plan.Lookahead {
+		t.Fatalf("partitioned run ended at %d, want within [%d, %d)", end, sEng.Now(), sEng.Now()+plan.Lookahead)
+	}
+}
+
+// TestStopFreezesWindowedRun mirrors the serial Stop contract: the run
+// freezes at the end of the in-flight window, pending events stay
+// queued, and the drain hook does not fire.
+func TestStopFreezesWindowedRun(t *testing.T) {
+	eng, nn, topo, netCfg := buildNet(t, "4x1x1")
+	plan, err := BuildPlan(topo, netCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(eng, plan, 1)
+	if err := nn.Partition(r.Shards(), plan.Comp, plan.NoTransit); err != nil {
+		t.Fatal(err)
+	}
+	r.SetFlush(nn.FlushCross)
+	eng.SetDriver(r.Drive)
+	drained := false
+	eng.SetOnDrain(func() { drained = true })
+	ringSends(eng, nn, topo, 1<<20)
+	eng.Schedule(1, func() { eng.Stop() })
+	eng.Run()
+	if !eng.Stopped() {
+		t.Fatal("engine did not report Stopped")
+	}
+	if drained {
+		t.Fatal("drain hook fired on a stopped run")
+	}
+	pending := eng.Pending()
+	for _, sh := range r.Shards() {
+		pending += sh.Pending()
+	}
+	if pending == 0 {
+		t.Fatal("expected in-flight work to remain queued after Stop")
+	}
+}
+
+// TestPlanProperties checks the partition plan's structural invariants on
+// every corpus topology: full 1-based coverage, no-transit consistency
+// with the enumerated lanes, and a positive lookahead.
+func TestPlanProperties(t *testing.T) {
+	for _, spec := range []string{"1x8x1", "2x2x2", "2x4x2", "2x2x2x2", "a2a:2x4", "sw:4x2", "so:2x2x1/2"} {
+		t.Run(spec, func(t *testing.T) {
+			cfg := config.DefaultSystem()
+			topo, err := cli.BuildTopology(spec, cli.DefaultTopologyOptions(), &cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := BuildPlan(topo, config.DefaultNetwork())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.NumComps < 1 {
+				t.Fatal("plan has no components")
+			}
+			if len(plan.Comp) != len(topo.Links()) {
+				t.Fatalf("plan covers %d links, topology has %d", len(plan.Comp), len(topo.Links()))
+			}
+			seen := make(map[int32]bool)
+			for i, c := range plan.Comp {
+				if c < 1 || int(c) > plan.NumComps {
+					t.Fatalf("link %d: component %d outside [1,%d]", i, c, plan.NumComps)
+				}
+				seen[c] = true
+			}
+			if len(seen) != plan.NumComps {
+				t.Fatalf("only %d of %d components used", len(seen), plan.NumComps)
+			}
+			if plan.Lookahead == 0 {
+				t.Fatal("zero lookahead")
+			}
+		})
+	}
+}
+
+// TestBuildPlanRejectsZeroLatency: a zero hop delay degenerates the
+// window to nothing; BuildPlan must refuse instead of livelocking.
+func TestBuildPlanRejectsZeroLatency(t *testing.T) {
+	cfg := config.DefaultSystem()
+	topo, err := cli.BuildTopology("2x2x2", cli.DefaultTopologyOptions(), &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netCfg := config.DefaultNetwork()
+	netCfg.LocalLinkLatency = 0
+	netCfg.RouterLatency = 0
+	if _, err := BuildPlan(topo, netCfg); err == nil {
+		t.Fatal("BuildPlan accepted a zero-lookahead configuration")
+	}
+}

@@ -561,3 +561,45 @@ func TestCacheEviction(t *testing.T) {
 		t.Errorf("ran %d simulations, want 5 (4 distinct + 1 evicted rerun)", st.Runs)
 	}
 }
+
+// TestIntraParallelSubmissions: intra_parallel is a scheduling knob —
+// packet-mode results and the content address are identical with and
+// without it (the second submission is a cache hit), while invalid
+// combinations (faults, negative widths) are 400s.
+func TestIntraParallelSubmissions(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	const serial = `{"topology": "1x4x1", "collective": {"op": "allreduce", "bytes": 65536}}`
+	const par = `{"topology": "1x4x1", "intra_parallel": 2, "collective": {"op": "allreduce", "bytes": 65536}}`
+
+	resp1, body1 := submit(t, ts, serial, nil)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("serial submission: %d %s", resp1.StatusCode, body1)
+	}
+	resp2, body2 := submit(t, ts, par, nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("intra_parallel submission: %d %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Astrasim-Cache"); got != "hit" {
+		t.Errorf("intra_parallel submission cache header %q, want hit (same simulation, different width)", got)
+	}
+	var env1, env2 jobEnvelope
+	if err := json.Unmarshal(body1, &env1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body2, &env2); err != nil {
+		t.Fatal(err)
+	}
+	if env1.ID != env2.ID {
+		t.Errorf("content addresses differ across widths: %s vs %s", env1.ID, env2.ID)
+	}
+
+	for name, bad := range map[string]string{
+		"negative": `{"topology": "1x4x1", "intra_parallel": -1, "collective": {"op": "allreduce", "bytes": 65536}}`,
+		"faults":   `{"topology": "1x4x1", "intra_parallel": 2, "collective": {"op": "allreduce", "bytes": 65536}, "faults": {"degraded": [{"class": "local", "factor": 0.5}]}}`,
+	} {
+		resp, body := submit(t, ts, bad, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, resp.StatusCode, body)
+		}
+	}
+}

@@ -82,6 +82,16 @@ type Submission struct {
 	Faults json.RawMessage `json:"faults,omitempty"`
 
 	Priority int `json:"priority,omitempty"`
+
+	// IntraParallel partitions the packet-mode simulation across this many
+	// shard-pool workers (intra-run parallelism, DESIGN.md §13). Results
+	// are byte-identical at any worker count, so — like Priority — it is a
+	// scheduling knob excluded from the content hash: the same simulation
+	// at a different width is the same result. Requires the packet
+	// backend's serial-compatible feature set: incompatible with faults
+	// and with graphs containing SEND/RECV nodes (point-to-point needs the
+	// serial engine).
+	IntraParallel int `json:"intra_parallel,omitempty"`
 }
 
 // badRequest is a 4xx validation failure.
@@ -145,8 +155,12 @@ func compile(sub *Submission) (*compiled, error) {
 		return nil, &badRequest{msg: err.Error()}
 	}
 
+	if sub.IntraParallel < 0 {
+		return nil, badf("intra_parallel must be >= 0, got %d", sub.IntraParallel)
+	}
 	opts := []astrasim.Option{
 		astrasim.WithBackend(backend),
+		astrasim.WithIntraParallel(sub.IntraParallel),
 		astrasim.WithAlgorithm(alg),
 		astrasim.WithSchedulingPolicy(policy),
 		astrasim.WithNetwork(net),
@@ -217,6 +231,9 @@ func compile(sub *Submission) (*compiled, error) {
 				if n.Src < 0 || n.Src >= npus || n.Dst < 0 || n.Dst >= npus {
 					return nil, badf("graph node %q: endpoint %d->%d out of range (%d NPUs)", n.ID, n.Src, n.Dst, npus)
 				}
+				if sub.IntraParallel > 0 {
+					return nil, badf("graph node %q: SEND/RECV needs point-to-point sends, which intra_parallel does not support", n.ID)
+				}
 			}
 		}
 		c.graph = g
@@ -225,6 +242,9 @@ func compile(sub *Submission) (*compiled, error) {
 	if len(sub.Faults) > 0 {
 		if backend != config.PacketBackend {
 			return nil, badf("faults require the packet backend; the %v backend does not model faults", backend)
+		}
+		if sub.IntraParallel > 0 {
+			return nil, badf("faults and intra_parallel are mutually exclusive; fault injection needs the serial engine")
 		}
 		plan, err := astrasim.ParseFaultPlan(bytes.NewReader(sub.Faults))
 		if err != nil {

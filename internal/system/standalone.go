@@ -8,6 +8,7 @@ import (
 	"astrasim/internal/eventq"
 	"astrasim/internal/fastnet"
 	"astrasim/internal/noc"
+	"astrasim/internal/pdes"
 	"astrasim/internal/topology"
 )
 
@@ -18,6 +19,11 @@ type Instance struct {
 	Topo topology.Topology
 	Net  Network
 	Sys  *System
+	// Par is the intra-run parallel runner when sysCfg.IntraParallel > 0
+	// on the packet backend, nil otherwise. It exposes the shard engines
+	// and window counter for diagnostics (the extintrapar study reports
+	// total fired events and windows from it).
+	Par *pdes.Runner
 }
 
 // InstanceHook, when non-nil, observes every Instance NewInstance returns —
@@ -28,15 +34,39 @@ type Instance struct {
 var InstanceHook func(*Instance)
 
 // NewInstance wires an engine, network and system layer over topo,
-// selecting the network backend from sysCfg.Backend.
+// selecting the network backend from sysCfg.Backend. With
+// sysCfg.IntraParallel > 0 on the packet backend, the network is
+// partitioned for intra-run parallel execution (internal/pdes) and the
+// engine's Run/RunUntil transparently execute the windowed schedule —
+// results stay byte-identical to the serial engine at any worker count.
 func NewInstance(topo topology.Topology, sysCfg config.System, netCfg config.Network) (*Instance, error) {
 	eng := eventq.New()
 	var net Network
+	var par *pdes.Runner
 	var err error
 	if sysCfg.Backend == config.FastBackend {
+		// The fast backend is already analytic end-to-end; IntraParallel
+		// is a packet-mode knob and is deliberately ignored here.
 		net, err = fastnet.New(eng, topo, netCfg)
 	} else {
-		net, err = noc.New(eng, topo, netCfg)
+		var nn *noc.Network
+		nn, err = noc.New(eng, topo, netCfg)
+		if err == nil && sysCfg.IntraParallel > 0 {
+			par, err = partitionInstance(eng, nn, topo, sysCfg, netCfg)
+		} else if err == nil {
+			// Serial packet runs stamp the same component labels into
+			// their event-ordering keys as a partitioned run would, so
+			// both modes share one total order and -intra-parallel stays
+			// byte-identical at any worker count. Topologies without a
+			// partition plan (e.g. mapped routing) simply keep the
+			// single-component order.
+			if plan, perr := pdes.BuildPlan(topo, netCfg); perr == nil {
+				if aerr := nn.AssignOrderingComps(plan.Comp); aerr != nil {
+					return nil, aerr
+				}
+			}
+		}
+		net = nn
 	}
 	if err != nil {
 		return nil, err
@@ -45,11 +75,28 @@ func NewInstance(topo topology.Topology, sysCfg config.System, netCfg config.Net
 	if err != nil {
 		return nil, err
 	}
-	inst := &Instance{Eng: eng, Topo: topo, Net: net, Sys: sys}
+	inst := &Instance{Eng: eng, Topo: topo, Net: net, Sys: sys, Par: par}
 	if InstanceHook != nil {
 		InstanceHook(inst)
 	}
 	return inst, nil
+}
+
+// partitionInstance wires the pdes runner over a packet network: builds
+// the topology's partition plan, rebinds links to shard engines, and
+// installs the windowed driver on the main engine.
+func partitionInstance(eng *eventq.Engine, nn *noc.Network, topo topology.Topology, sysCfg config.System, netCfg config.Network) (*pdes.Runner, error) {
+	plan, err := pdes.BuildPlan(topo, netCfg)
+	if err != nil {
+		return nil, err
+	}
+	r := pdes.NewRunner(eng, plan, sysCfg.IntraParallel)
+	if err := nn.Partition(r.Shards(), plan.Comp, plan.NoTransit); err != nil {
+		return nil, err
+	}
+	r.SetFlush(nn.FlushCross)
+	eng.SetDriver(r.Drive)
+	return r, nil
 }
 
 // RunCollective executes a single collective of op/bytes to completion on

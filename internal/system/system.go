@@ -705,6 +705,11 @@ func (s *System) SendPointToPoint(src, dst topology.Node, bytes int64, onDeliver
 	if bytes <= 0 {
 		return fmt.Errorf("system: point-to-point size must be positive, got %d", bytes)
 	}
+	if pn, ok := s.Net.(*noc.Network); ok && pn.Partitioned() {
+		// Hardware-routed point-to-point paths cross partition components
+		// at will, which the conservative-lookahead scheme cannot own.
+		return fmt.Errorf("system: point-to-point sends are not supported with intra-run parallelism; run with IntraParallel=0")
+	}
 	if src == dst {
 		s.Eng.Schedule(0, onDelivered)
 		return nil

@@ -39,8 +39,10 @@ BENCHTIME="${BENCHTIME:-3x}"
 # criteria track.
 CORE='BenchmarkAllReduce4x4x4_4MB|BenchmarkAllToAll_8Packages_1MB|BenchmarkGraphReplayPipeline'
 EVQ='BenchmarkScheduleRun'
-# The LARGE set: the fast-vs-packet backend speedup pair at 4096 NPUs.
-LARGE='BenchmarkAllReduce16x16x16_FastMode|BenchmarkAllReduce16x16x16_PacketMode'
+# The LARGE set: the fast-vs-packet backend speedup pair at 4096 NPUs,
+# plus the intra-run parallelism pair at 16384 NPUs (serial engine vs
+# -intra-parallel at NumCPU workers; DESIGN.md §13).
+LARGE='BenchmarkAllReduce16x16x16_FastMode|BenchmarkAllReduce16x16x16_PacketMode|BenchmarkAllReduce16x32x32_PacketSerial|BenchmarkAllReduce16x32x32_IntraParallel'
 
 # tojson TXT JSON: convert "BenchmarkX  N  ns/op  B/op  allocs/op" lines
 # from TXT into one JSON record per benchmark in JSON.
@@ -55,6 +57,24 @@ tojson() {
   ' "$1" > "$2"
 }
 
+# check TXT NAMES: fail with a named error when any benchmark in NAMES
+# (a |-separated list) has no result line in TXT. Without this, renaming
+# or deleting a benchmark silently records an empty/partial JSON and the
+# committed baseline rots unnoticed.
+check() {
+  txt="$1"
+  names="$2"
+  missing=""
+  for n in $(printf '%s' "$names" | tr '|' ' '); do
+    grep -q "^$n\>" "$txt" || missing="$missing $n"
+  done
+  if [ -n "$missing" ]; then
+    echo "bench.sh: no result for benchmark(s):$missing" >&2
+    echo "bench.sh: the benchmark was renamed or removed; update CORE/LARGE in scripts/bench.sh to match bench_test.go" >&2
+    return 1
+  fi
+}
+
 # record DIR: run the core set and write BENCH_core.{txt,json} into DIR.
 record() {
   out="$1"
@@ -65,6 +85,7 @@ record() {
     go test -run '^$' -bench "$CORE" -benchmem -benchtime "$BENCHTIME" .
     go test -run '^$' -bench "$EVQ" -benchmem -benchtime 100x ./internal/eventq/
   } | tee "$txt"
+  check "$txt" "$CORE|$EVQ"
   tojson "$txt" "$json"
   echo "wrote $txt and $json" >&2
 }
@@ -78,12 +99,20 @@ record_large() {
   json="$out/BENCH_large.json"
   go test -run '^$' -bench "$LARGE" -benchmem -benchtime "${BENCHTIME_LARGE:-1x}" \
     -timeout 60m . | tee "$txt"
+  check "$txt" "$LARGE"
   tojson "$txt" "$json"
   echo "wrote $txt and $json" >&2
 }
 
 if [ "${1:-}" = "large" ]; then
   record_large "${2:-.}"
+  exit 0
+fi
+
+# Hidden subcommand so the missing-benchmark guard is testable without
+# running real benchmarks: bench.sh check TXT 'NameA|NameB'.
+if [ "${1:-}" = "check" ]; then
+  check "$2" "$3"
   exit 0
 fi
 
