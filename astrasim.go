@@ -317,6 +317,29 @@ func WithIntraParallel(n int) Option {
 	return func(o *platformOpts) { o.sys.IntraParallel = n }
 }
 
+// Placement says where a layer's (or graph node's) tensors live relative
+// to the disaggregated remote-memory tier configured by WithRemoteMemory.
+type Placement = compute.Placement
+
+// Tensor placements.
+const (
+	PlaceLocal       = compute.PlaceLocal
+	PlaceRemote      = compute.PlaceRemote
+	PlaceInterleaved = compute.PlaceInterleaved
+)
+
+// WithRemoteMemory attaches a disaggregated (CXL-style pooled) remote-
+// memory tier: bandwidth in bytes/cycle and per-access latency in cycles.
+// Layers or graph nodes placed on the tier (Placement remote/interleaved)
+// pay a pool stall on top of their local memory path; bandwidth 0 (the
+// default) disables the tier at zero overhead.
+func WithRemoteMemory(bandwidth float64, latency uint64) Option {
+	return func(o *platformOpts) {
+		o.sys.RemoteMemBandwidth = bandwidth
+		o.sys.RemoteMemLatency = latency
+	}
+}
+
 // WithSetSplits sets the preferred number of chunks per collective set.
 func WithSetSplits(n int) Option {
 	return func(o *platformOpts) { o.sys.PreferredSetSplits = n }
@@ -468,6 +491,9 @@ func WithLocalSwitches(n int) Option {
 //	"a2a:MxN"      hierarchical alltoall
 //	"sw:MxN"       switch-based (NVSwitch-style) scale-up
 //	"so:MxNxK/P"   P pods of an MxNxK torus over a scale-out spine
+//	"hier:..."     compositional N-dim hierarchy: comma list of
+//	               <ring|fc|sw><size>[x<lanes>][@<local|pkg|so>]
+//	               dimensions, e.g. "hier:sw8,fc4,ring32" (DGX-like)
 //
 // Options apply exactly as for the typed constructors (WithRings,
 // WithGlobalSwitches, WithBackend, ...).

@@ -229,3 +229,85 @@ func TestPlatformAudit(t *testing.T) {
 		t.Fatalf("audited training: %v", err)
 	}
 }
+
+// NewPlatformFromSpec must accept the full spec grammar — including the
+// compositional hier: form — and honor construction options, so spec
+// strings and typed constructors are interchangeable front doors.
+func TestPlatformFromHierSpec(t *testing.T) {
+	p, err := astrasim.NewPlatformFromSpec("hier:sw2,fc2,ring2",
+		astrasim.WithAlgorithm(astrasim.Enhanced),
+		astrasim.WithBackend(astrasim.FastBackend),
+		astrasim.WithSetSplits(2),
+		astrasim.WithEndpointDelay(8),
+		astrasim.WithSchedulingPolicy(astrasim.FIFO),
+		astrasim.WithIntraParallel(0),
+		astrasim.WithNetwork(astrasim.DefaultNetworkConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNPUs() != 8 {
+		t.Errorf("NumNPUs = %d, want 8", p.NumNPUs())
+	}
+	if p.Name() == "" {
+		t.Error("empty platform name")
+	}
+	res, err := p.RunCollective(astrasim.AllReduce, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration() == 0 {
+		t.Error("zero-duration collective on hier spec")
+	}
+	if _, err := astrasim.NewPlatformFromSpec("hier:ring2,spine4"); err == nil {
+		t.Error("bad hier spec accepted")
+	}
+	if b, err := astrasim.ParseBackend("fast"); err != nil || b != astrasim.FastBackend {
+		t.Errorf("ParseBackend(fast) = %v, %v", b, err)
+	}
+	if _, err := astrasim.ParseBackend("quantum"); err == nil {
+		t.Error("ParseBackend accepted unknown backend")
+	}
+}
+
+// Training through the facade with a remote-placed layer must stall
+// exactly when a pool is armed: same workload, same platform shape —
+// the pool-armed run is strictly slower, the pool-free run identical
+// to an all-local one.
+func TestPlatformTrainWithRemoteMemory(t *testing.T) {
+	def := astrasim.Definition{
+		Name:        "tiny-remote",
+		Parallelism: astrasim.DataParallel,
+		Layers: []astrasim.Layer{{
+			Name:       "fc",
+			FwdCompute: 100, IGCompute: 100, WGCompute: 100,
+			WGComm:      astrasim.AllReduce,
+			WGBytes:     1 << 16,
+			UpdatePerKB: 10,
+			Placement:   astrasim.PlaceRemote,
+		}},
+	}
+	train := func(opts ...astrasim.Option) uint64 {
+		t.Helper()
+		p, err := astrasim.NewTorusPlatform(2, 2, 1, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Train(def, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return uint64(res.TotalCycles)
+	}
+	free := train()
+	armed := train(astrasim.WithRemoteMemory(2, 5000))
+	if armed <= free {
+		t.Errorf("armed pool (%d cycles) should stall past pool-free run (%d)", armed, free)
+	}
+	local := def
+	local.Layers = append([]astrasim.Layer(nil), def.Layers...)
+	local.Layers[0].Placement = astrasim.PlaceLocal
+	def = local
+	if got := train(); got != free {
+		t.Errorf("pool-free remote placement cost %d cycles vs local %d; placements must be free without a pool", got, free)
+	}
+}

@@ -60,7 +60,7 @@ func main() {
 	passes := flag.Int("num-passes", 2, "forward/backward iterations to simulate")
 	batch := flag.Int("batch", 32, "local minibatch size (builtin workloads)")
 	seqLen := flag.Int("seq-len", 128, "sequence length (builtin transformer)")
-	topoFlag := flag.String("topology", "2x4x4", "torus MxNxK or alltoall a2a:MxN")
+	topoFlag := flag.String("topology", "2x4x4", "torus MxNxK, alltoall a2a:MxN, or composition hier:sw8,fc4,ring32")
 	algFlag := flag.String("algorithm", "enhanced", "baseline or enhanced collective algorithm")
 	policyFlag := flag.String("scheduling-policy", "LIFO", "LIFO or FIFO")
 	switches := flag.Int("global-switches", 2, "global switches (alltoall topology)")
@@ -81,6 +81,7 @@ func main() {
 	auditFlag := flag.Bool("audit", false, "attach the invariant auditor and fail on any violation")
 	backendFlag := flag.String("backend", "packet", "network backend: packet (congestion-aware) or fast (congestion-unaware analytical)")
 	intraParallel := flag.Int("intra-parallel", 0, "shard-pool workers for intra-run parallel packet simulation (0 = serial engine; results are identical at any count)")
+	remoteMem := flag.String("remote-mem", "", "disaggregated memory tier, \"bw=<bytes/cycle>[,lat=<cycles>]\" (empty = disabled)")
 	flag.Parse()
 
 	backend, err := config.ParseBackend(*backendFlag)
@@ -146,6 +147,11 @@ func main() {
 	cfg.EndpointDelay = *endpointDelay
 	cfg.LocalRings, cfg.HorizontalRings, cfg.VerticalRings = *localRings, *horizontalRings, *verticalRings
 	cfg.GlobalSwitches = *switches
+	if *remoteMem != "" {
+		if cfg.RemoteMemBandwidth, cfg.RemoteMemLatency, err = cli.ParseRemoteMem(*remoteMem); err != nil {
+			fatal(err)
+		}
+	}
 
 	topo, err := cli.BuildTopology(*topoFlag, cli.TopologyOptions{
 		LocalRings:      *localRings,

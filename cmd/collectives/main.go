@@ -87,6 +87,10 @@ type options struct {
 	backend    config.Backend
 	intraPar   int
 	plan       *faults.Plan
+	// rmBW/rmLat configure the disaggregated remote-memory tier (0
+	// bandwidth = disabled); graph replays pick placements per node.
+	rmBW  float64
+	rmLat uint64
 	// graphW x graphD, when non-zero, replays a microbenchmark DAG
 	// (width independent chains of depth dependent collectives) through
 	// the graph workload engine instead of issuing one collective.
@@ -99,7 +103,7 @@ func parseArgs(args []string) (*options, error) {
 	fs := flag.NewFlagSet("collectives", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	opFlag := fs.String("op", "allreduce", "collective: reducescatter|allgather|allreduce|alltoall")
-	topoFlag := fs.String("topology", "4x4x4", "torus MxNxK (or N-D), or alltoall a2a:MxN")
+	topoFlag := fs.String("topology", "4x4x4", "torus MxNxK (or N-D), alltoall a2a:MxN, or composition hier:sw8,fc4,ring32")
 	sizeFlag := fs.String("size", "4MB", "collective set size(s), comma-separated (supports KB/MB/GB suffixes)")
 	algFlag := fs.String("algorithm", "baseline", "baseline or enhanced hierarchical algorithm")
 	policyFlag := fs.String("scheduling-policy", "LIFO", "LIFO or FIFO ready-queue order")
@@ -116,6 +120,7 @@ func parseArgs(args []string) (*options, error) {
 	backendFlag := fs.String("backend", "packet", "network backend: packet (congestion-aware) or fast (congestion-unaware analytical)")
 	intraParallel := fs.Int("intra-parallel", 0, "shard-pool workers for intra-run parallel packet simulation (0 = serial engine; results are identical at any count)")
 	graphBench := fs.String("graph-bench", "", "replay a WIDTHxDEPTH microbenchmark DAG of the selected op through the graph engine (e.g. 4x8)")
+	remoteMem := fs.String("remote-mem", "", "disaggregated memory tier, \"bw=<bytes/cycle>[,lat=<cycles>]\" (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -177,6 +182,11 @@ func parseArgs(args []string) (*options, error) {
 			return nil, fmt.Errorf("collectives: -graph-bench wants WIDTHxDEPTH with positive terms, got %q", *graphBench)
 		}
 	}
+	if *remoteMem != "" {
+		if o.rmBW, o.rmLat, err = cli.ParseRemoteMem(*remoteMem); err != nil {
+			return nil, err
+		}
+	}
 	return o, nil
 }
 
@@ -192,6 +202,7 @@ func main() {
 	cfg.PreferredSetSplits = o.splits
 	cfg.Backend = o.backend
 	cfg.IntraParallel = o.intraPar
+	cfg.RemoteMemBandwidth, cfg.RemoteMemLatency = o.rmBW, o.rmLat
 	topo, err := cli.BuildTopology(o.topoSpec, o.topoOpts, &cfg)
 	if err != nil {
 		fatal(err)

@@ -76,6 +76,114 @@ func ParseDims(s string) ([]int, error) {
 	return dims, nil
 }
 
+// ParseHierSpec parses the dimension list of a "hier:<spec>" topology: a
+// comma-separated sequence of <kind><size>[x<lanes>][@<class>] entries,
+// ordered local dimension first. Kinds are "ring", "fc" (fully
+// connected), and "sw" (switch); classes are "local" (intra-package),
+// "pkg" (inter-package), and "so" (scale-out). Lanes default to
+// opts.LocalRings for the first ring dimension, 2 for later ring
+// dimensions, opts.GlobalSwitches for switch dimensions, and 1 for fully
+// connected dimensions; the class defaults to local for dimension 0 and
+// pkg for the rest. Errors name the offending token.
+func ParseHierSpec(spec string, opts TopologyOptions) ([]topology.DimSpec, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cli: hier topology needs at least one dimension")
+	}
+	tokens := strings.Split(spec, ",")
+	specs := make([]topology.DimSpec, len(tokens))
+	for i, raw := range tokens {
+		tok := strings.TrimSpace(raw)
+		if tok == "" {
+			return nil, fmt.Errorf("cli: hier topology %q: dimension %d is empty", spec, i+1)
+		}
+		body, classStr, hasClass := strings.Cut(tok, "@")
+		var kind topology.DimKind
+		var rest string
+		switch {
+		case strings.HasPrefix(body, "ring"):
+			kind, rest = topology.KindRing, body[len("ring"):]
+		case strings.HasPrefix(body, "fc"):
+			kind, rest = topology.KindFullyConnected, body[len("fc"):]
+		case strings.HasPrefix(body, "sw"):
+			kind, rest = topology.KindSwitch, body[len("sw"):]
+		default:
+			return nil, fmt.Errorf("cli: hier topology: dimension %q: want kind ring, fc, or sw", tok)
+		}
+		sizeStr, lanesStr, hasLanes := strings.Cut(rest, "x")
+		size, err := strconv.Atoi(sizeStr)
+		if err != nil || size <= 0 {
+			return nil, fmt.Errorf("cli: hier topology: dimension %q: bad size %q", tok, sizeStr)
+		}
+		lanes := 0
+		switch {
+		case hasLanes:
+			lanes, err = strconv.Atoi(lanesStr)
+			if err != nil || lanes <= 0 {
+				return nil, fmt.Errorf("cli: hier topology: dimension %q: bad lane count %q", tok, lanesStr)
+			}
+		case kind == topology.KindRing && i == 0:
+			lanes = opts.LocalRings
+		case kind == topology.KindRing:
+			lanes = 2
+		case kind == topology.KindSwitch:
+			lanes = opts.GlobalSwitches
+		default:
+			lanes = 1
+		}
+		class := topology.InterPackage
+		if i == 0 {
+			class = topology.IntraPackage
+		}
+		if hasClass {
+			switch classStr {
+			case "local":
+				class = topology.IntraPackage
+			case "pkg":
+				class = topology.InterPackage
+			case "so":
+				class = topology.ScaleOutLink
+			default:
+				return nil, fmt.Errorf("cli: hier topology: dimension %q: bad link class %q (want local, pkg, or so)", tok, classStr)
+			}
+		}
+		specs[i] = topology.DimSpec{Kind: kind, Size: size, Lanes: lanes, Class: class}
+	}
+	return specs, nil
+}
+
+// ParseRemoteMem parses the -remote-mem flag: "bw=<bytes/cycle>" with an
+// optional ",lat=<cycles>" (e.g. "bw=50,lat=600"). Errors name the
+// offending token.
+func ParseRemoteMem(s string) (bw float64, lat uint64, err error) {
+	seenBW := false
+	for _, raw := range strings.Split(s, ",") {
+		tok := strings.TrimSpace(raw)
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return 0, 0, fmt.Errorf("cli: remote-mem %q: entry %q is not key=value", s, tok)
+		}
+		switch key {
+		case "bw":
+			bw, err = strconv.ParseFloat(val, 64)
+			if err != nil || bw <= 0 {
+				return 0, 0, fmt.Errorf("cli: remote-mem %q: bad bandwidth %q (want positive bytes/cycle)", s, val)
+			}
+			seenBW = true
+		case "lat":
+			lat, err = strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return 0, 0, fmt.Errorf("cli: remote-mem %q: bad latency %q (want cycles)", s, val)
+			}
+		default:
+			return 0, 0, fmt.Errorf("cli: remote-mem %q: unknown key %q (want bw or lat)", s, key)
+		}
+	}
+	if !seenBW {
+		return 0, 0, fmt.Errorf("cli: remote-mem %q: missing required bw=<bytes/cycle>", s)
+	}
+	return bw, lat, nil
+}
+
 // TopologyOptions carries the ring/switch multiplicities for BuildTopology.
 type TopologyOptions struct {
 	LocalRings      int
@@ -99,7 +207,27 @@ func DefaultTopologyOptions() TopologyOptions {
 //	               switches plus opts.GlobalSwitches global switches
 //	"so:MxNxK/P"   P pods of an MxNxK torus over a scale-out spine with
 //	               opts.GlobalSwitches spine switches
+//	"hier:..."     compositional N-dim topology: comma-separated
+//	               <kind><size>[x<lanes>][@<class>] dimensions (see
+//	               ParseHierSpec), e.g. "hier:sw8,fc4,ring32" for a
+//	               DGX-like NVSwitch + multi-rail + ring scale-out
 func BuildTopology(spec string, opts TopologyOptions, cfg *config.System) (topology.Topology, error) {
+	if hierSpec, ok := strings.CutPrefix(spec, "hier:"); ok {
+		specs, err := ParseHierSpec(hierSpec, opts)
+		if err != nil {
+			return nil, err
+		}
+		h, err := topology.NewHierarchical(specs)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Topology = config.Hierarchical
+		cfg.LocalSize = specs[0].Size
+		cfg.HorizontalSize = h.NumNPUs() / specs[0].Size
+		cfg.VerticalSize = 1
+		cfg.LocalRings = opts.LocalRings
+		return h, nil
+	}
 	if swSpec, ok := strings.CutPrefix(spec, "sw:"); ok {
 		dims, err := ParseDims(swSpec)
 		if err != nil {

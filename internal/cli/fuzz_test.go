@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"astrasim/internal/cli"
+	"astrasim/internal/collectives"
 	"astrasim/internal/config"
 )
 
@@ -93,6 +94,94 @@ func FuzzParseConfig(f *testing.F) {
 		if cfg.LocalSize < 1 || cfg.HorizontalSize < 1 || cfg.VerticalSize < 1 {
 			t.Fatalf("BuildTopology(%q): config sizes %dx%dx%d not normalized",
 				topoSpec, cfg.LocalSize, cfg.HorizontalSize, cfg.VerticalSize)
+		}
+	})
+}
+
+// FuzzParseHierTopology drives the hier: composition grammar end to end:
+// parse the dimension list, build the topology, and compile a small
+// all-reduce over it. Accepted specs must build consistently (NPU count
+// = product of dimension sizes, one DimInfo per spec) and compile into
+// phases whose step algebra holds its invariants (positive steps, ring /
+// direct / halving mutually consistent, per-step bytes non-negative).
+func FuzzParseHierTopology(f *testing.F) {
+	f.Add("sw8,fc4,ring32")
+	f.Add("ring2,ring4,ring2")
+	f.Add("sw4x2@local,fc3x1@pkg,ring4@so")
+	f.Add("fc4,ring2x1,sw2")
+	f.Add("ring1")
+	f.Add("sw16")
+	f.Add("fc2@so")
+	f.Add("ring8x3")
+	f.Add("")
+	f.Add("sw0")
+	f.Add("ring2,,sw4")
+	f.Add("mesh4")
+	f.Add("sw8@fabric")
+	f.Add("ring-2")
+	f.Add("sw8xx2")
+	f.Add("ring2 , sw4")
+	f.Fuzz(func(t *testing.T, spec string) {
+		if !specIsCheap(spec) {
+			return
+		}
+		specs, err := cli.ParseHierSpec(spec, cli.DefaultTopologyOptions())
+		if err != nil {
+			return
+		}
+		cfg := config.DefaultSystem()
+		topo, err := cli.BuildTopology("hier:"+spec, cli.DefaultTopologyOptions(), &cfg)
+		if err != nil {
+			t.Fatalf("ParseHierSpec(%q) accepted but BuildTopology rejected: %v", spec, err)
+		}
+		want := 1
+		for _, s := range specs {
+			if s.Size < 1 || s.Lanes < 1 {
+				t.Fatalf("ParseHierSpec(%q) accepted dim %v", spec, s)
+			}
+			want *= s.Size
+		}
+		if got := topo.NumNPUs(); got != want {
+			t.Fatalf("BuildTopology(hier:%q): %d NPUs, spec product %d", spec, got, want)
+		}
+		dims := topo.Dims()
+		if len(dims) != len(specs) {
+			t.Fatalf("BuildTopology(hier:%q): %d dims for %d specs", spec, len(dims), len(specs))
+		}
+		for i, d := range dims {
+			if d.Size != specs[i].Size {
+				t.Fatalf("BuildTopology(hier:%q): dim %d size %d, spec %d", spec, i, d.Size, specs[i].Size)
+			}
+			if d.Halving && !d.Direct {
+				t.Fatalf("BuildTopology(hier:%q): dim %d halving without direct reachability", spec, i)
+			}
+		}
+		for _, alg := range []config.Algorithm{config.Baseline, config.Enhanced} {
+			phases, err := collectives.Compile(collectives.AllReduce, topo, alg)
+			if err != nil {
+				t.Fatalf("Compile(allreduce, hier:%q, %v): %v", spec, alg, err)
+			}
+			const setBytes = 4096
+			for _, ph := range phases {
+				if ph.Size < 2 {
+					t.Fatalf("hier:%q %v: compiled phase over %d nodes", spec, alg, ph.Size)
+				}
+				if ph.Direct && ph.Halving {
+					t.Fatalf("hier:%q %v: phase %v is both direct and halving", spec, alg, ph)
+				}
+				steps := ph.NumSteps()
+				if steps < 1 {
+					t.Fatalf("hier:%q %v: phase %v has %d steps", spec, alg, ph, steps)
+				}
+				for s := 0; s < steps; s++ {
+					if b := ph.StepBytes(s, setBytes); b < 0 {
+						t.Fatalf("hier:%q %v: phase %v step %d sends %d bytes", spec, alg, ph, s, b)
+					}
+				}
+			}
+			if total := collectives.TotalCollectiveBytesPerNode(phases, setBytes); total < 0 {
+				t.Fatalf("hier:%q %v: negative per-node total %d", spec, alg, total)
+			}
 		}
 	})
 }

@@ -16,6 +16,7 @@ package collectives
 
 import (
 	"fmt"
+	"math/bits"
 
 	"astrasim/internal/config"
 	"astrasim/internal/topology"
@@ -80,6 +81,11 @@ type Phase struct {
 	// Direct marks a single-step exchange through global switches; false
 	// means an (N-1)-step ring algorithm.
 	Direct bool
+	// Halving marks a recursive halving-doubling schedule (log2(N)
+	// XOR-partner exchange steps for RS/AG, 2*log2(N) for AR) on
+	// power-of-two switch dimensions. Mutually exclusive with Direct; the
+	// per-node byte total is D*(N-1)/N, identical to the ring algorithms.
+	Halving bool
 	// Size is the dimension group size N.
 	Size int
 	// Scale is the fraction of the chunk this phase operates on. The
@@ -88,12 +94,25 @@ type Phase struct {
 	Scale float64
 }
 
+// halvingRounds returns log2(N) — the step count of one halving or
+// doubling sweep. Halving phases only compile on power-of-two sizes.
+func (p Phase) halvingRounds() int {
+	return bits.Len(uint(p.Size)) - 1
+}
+
 // NumSteps returns how many dependent communication steps the phase takes
 // per node. Ring RS/AG/A2A take N-1 steps; ring AR takes 2(N-1) (RS then
-// AG); a direct RS/AG/A2A is one simultaneous step and direct AR is two.
+// AG); a direct RS/AG/A2A is one simultaneous step and direct AR is two;
+// halving-doubling RS/AG take log2(N) steps and AR takes 2*log2(N).
 func (p Phase) NumSteps() int {
 	if p.Size <= 1 {
 		return 0
+	}
+	if p.Halving {
+		if p.Op == AllReduce {
+			return 2 * p.halvingRounds()
+		}
+		return p.halvingRounds()
 	}
 	if p.Direct {
 		if p.Op == AllReduce {
@@ -108,12 +127,36 @@ func (p Phase) NumSteps() int {
 }
 
 // MessagesPerStep returns how many messages each node sends in one step:
-// one ring neighbor message, or N-1 direct peer messages.
+// one ring neighbor or halving-doubling partner message, or N-1 direct
+// peer messages.
 func (p Phase) MessagesPerStep() int {
 	if p.Direct {
 		return p.Size - 1
 	}
 	return 1
+}
+
+// HalvingPartnerIndex returns the group index a node at index idx
+// exchanges with at the given step of a halving phase: recursive halving
+// pairs across shrinking distance masks (N/2, N/4, ..., 1) for the
+// reduce-scatter sweep, recursive doubling retraces them in reverse
+// (1, 2, ..., N/2) for the all-gather sweep, and the all-reduce runs the
+// two sweeps back to back. The pairing is symmetric: idx's partner at a
+// step has idx as its own partner at that step.
+func (p Phase) HalvingPartnerIndex(idx, step int) int {
+	k := p.halvingRounds()
+	switch p.Op {
+	case ReduceScatter:
+		return idx ^ (p.Size >> (step + 1))
+	case AllGather:
+		return idx ^ (1 << step)
+	case AllReduce:
+		if step < k {
+			return idx ^ (p.Size >> (step + 1))
+		}
+		return idx ^ (1 << (step - k))
+	}
+	panic(fmt.Sprintf("collectives: no halving schedule for %v", p.Op))
 }
 
 // StepBytes returns the per-message size at the given step for a chunk of
@@ -128,9 +171,24 @@ func (p Phase) StepBytes(step int, chunkBytes int64) int64 {
 	d := p.Scale * float64(chunkBytes)
 	n := float64(p.Size)
 	var b float64
-	if !p.Direct && p.Op == AllToAll {
+	switch {
+	case p.Halving:
+		// Halving sweep step s exchanges D/2^(s+1); the doubling sweep
+		// step s exchanges D*2^s/N (each sweep moves D*(N-1)/N total).
+		k := p.halvingRounds()
+		s := step
+		doubling := p.Op == AllGather
+		if p.Op == AllReduce && step >= k {
+			doubling, s = true, step-k
+		}
+		if doubling {
+			b = d * float64(int64(1)<<s) / n
+		} else {
+			b = d / float64(int64(2)<<s)
+		}
+	case !p.Direct && p.Op == AllToAll:
 		b = d * (n - 1 - float64(step)) / n
-	} else {
+	default:
 		b = d / n
 	}
 	bytes := int64(b)
@@ -147,6 +205,9 @@ func (p Phase) ReduceAtStep(step int) bool {
 	case ReduceScatter:
 		return true
 	case AllReduce:
+		if p.Halving {
+			return step < p.halvingRounds() // the halving (RS) sweep
+		}
 		if p.Direct {
 			return step == 0
 		}
@@ -167,7 +228,10 @@ func (p Phase) TotalBytesPerNode(chunkBytes int64) int64 {
 
 func (p Phase) String() string {
 	kind := "ring"
-	if p.Direct {
+	switch {
+	case p.Halving:
+		kind = "halving"
+	case p.Direct:
 		kind = "direct"
 	}
 	return fmt.Sprintf("%s %s(%d)x%.3g on %s", kind, p.Op, p.Size, p.Scale, p.Dim)
@@ -229,20 +293,20 @@ func CompileScoped(op Op, topo topology.Topology, alg config.Algorithm, scope []
 		}
 		phases := make([]Phase, 0, len(dims))
 		for _, d := range dims {
-			phases = append(phases, Phase{Dim: d.Dim, Op: AllReduce, Direct: d.Direct, Size: d.Size, Scale: 1})
+			phases = append(phases, dimPhase(d, AllReduce, 1))
 		}
 		return phases, nil
 	case AllToAll:
 		phases := make([]Phase, 0, len(dims))
 		for _, d := range dims {
-			phases = append(phases, Phase{Dim: d.Dim, Op: AllToAll, Direct: d.Direct, Size: d.Size, Scale: 1})
+			phases = append(phases, dimPhase(d, AllToAll, 1))
 		}
 		return phases, nil
 	case ReduceScatter:
 		phases := make([]Phase, 0, len(dims))
 		scale := 1.0
 		for _, d := range dims {
-			phases = append(phases, Phase{Dim: d.Dim, Op: ReduceScatter, Direct: d.Direct, Size: d.Size, Scale: scale})
+			phases = append(phases, dimPhase(d, ReduceScatter, scale))
 			scale /= float64(d.Size)
 		}
 		return phases, nil
@@ -255,7 +319,7 @@ func CompileScoped(op Op, topo topology.Topology, alg config.Algorithm, scope []
 		for i := len(dims) - 1; i >= 0; i-- {
 			d := dims[i]
 			scale *= float64(d.Size)
-			phases = append(phases, Phase{Dim: d.Dim, Op: AllGather, Direct: d.Direct, Size: d.Size, Scale: scale})
+			phases = append(phases, dimPhase(d, AllGather, scale))
 		}
 		return phases, nil
 	case None:
@@ -280,18 +344,30 @@ func activeDims(topo topology.Topology) []topology.DimInfo {
 	return out
 }
 
+// dimPhase builds one phase of op over dimension d: halving-doubling on
+// halving dimensions (all-to-all has no halving schedule and stays a
+// direct exchange there), direct on other direct dimensions, ring
+// otherwise.
+func dimPhase(d topology.DimInfo, op Op, scale float64) Phase {
+	halving := d.Halving && op != AllToAll
+	return Phase{
+		Dim: d.Dim, Op: op,
+		Direct:  d.Direct && !halving,
+		Halving: halving,
+		Size:    d.Size, Scale: scale,
+	}
+}
+
 // enhancedAllReduce builds the 4-phase algorithm: local RS, inter-package
 // ARs on 1/M data, local AG.
 func enhancedAllReduce(dims []topology.DimInfo) []Phase {
 	local := dims[0]
 	m := float64(local.Size)
-	phases := []Phase{
-		{Dim: local.Dim, Op: ReduceScatter, Direct: local.Direct, Size: local.Size, Scale: 1},
-	}
+	phases := []Phase{dimPhase(local, ReduceScatter, 1)}
 	for _, d := range dims[1:] {
-		phases = append(phases, Phase{Dim: d.Dim, Op: AllReduce, Direct: d.Direct, Size: d.Size, Scale: 1 / m})
+		phases = append(phases, dimPhase(d, AllReduce, 1/m))
 	}
-	phases = append(phases, Phase{Dim: local.Dim, Op: AllGather, Direct: local.Direct, Size: local.Size, Scale: 1})
+	phases = append(phases, dimPhase(local, AllGather, 1))
 	return phases
 }
 

@@ -33,6 +33,11 @@ var conservationTopos = []string{
 	"a2a:2x4",    // hierarchical alltoall
 	"sw:4x2",     // switch-based scale-up
 	"so:2x2x1/2", // scale-out spine: exercises mixed-class paths
+	// Compositional hierarchies: every dimension kind, mixed orders.
+	"hier:sw4,fc3,ring4",     // DGX-like switch + FC + ring composition
+	"hier:ring2,sw8",         // halving-doubling through a pow2 switch dim
+	"hier:fc4,ring2x1,sw2",   // FC-first with an explicit lane count
+	"hier:ring2,ring4,ring2", // all-ring composition (TorusND-equivalent)
 }
 
 func TestByteConservationAcrossConfigs(t *testing.T) {
@@ -217,9 +222,9 @@ func TestOracleExactAcrossConfigs(t *testing.T) {
 			}
 		}
 	}
-	// The acceptance bar for this corpus: at least 70 distinct configs.
-	if configs < 70 {
-		t.Fatalf("oracle corpus covers only %d configs, want >= 70", configs)
+	// The acceptance bar for this corpus: at least 110 distinct configs.
+	if configs < 110 {
+		t.Fatalf("oracle corpus covers only %d configs, want >= 110", configs)
 	}
 }
 
@@ -274,6 +279,74 @@ func TestOracleBoundsWithDispatcherConcurrency(t *testing.T) {
 						t.Fatalf("simulated %d cycles outside oracle bounds [%d, %d]", d, lower, upper)
 					}
 				})
+			}
+		}
+	}
+}
+
+// TestHierEquivalentToTorusND pins the compositional builder against the
+// topology it generalizes at the simulation level: "hier:ring2,ring2,
+// ring2,ring2" constructs the 2x2x2x2 TorusND link-for-link (the
+// structural half lives in internal/topology), so every collective must
+// run byte-identically on the two specs — same completion cycles, same
+// injected traffic — on both network backends, with and without chunk
+// splitting. Zero tolerance: any divergence means the hier ring
+// construction or its schedule drifted from the torus path.
+func TestHierEquivalentToTorusND(t *testing.T) {
+	ops := []collectives.Op{
+		collectives.ReduceScatter, collectives.AllGather,
+		collectives.AllReduce, collectives.AllToAll,
+	}
+	type obs struct {
+		dur   uint64
+		bytes int64
+	}
+	run := func(t *testing.T, spec string, alg config.Algorithm, backend config.Backend,
+		splits int, op collectives.Op, setBytes int64) obs {
+		t.Helper()
+		cfg := config.DefaultSystem()
+		cfg.Algorithm = alg
+		cfg.Backend = backend
+		cfg.PreferredSetSplits = splits
+		topo, err := cli.BuildTopology(spec, cli.DefaultTopologyOptions(), &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := system.NewInstance(topo, cfg, config.DefaultNetwork())
+		if err != nil {
+			t.Fatal(err)
+		}
+		aud := audit.Attach(inst.Sys, inst.Net)
+		h, err := inst.Sys.IssueCollective(op, setBytes, op.String(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Eng.Run()
+		if !h.Done() {
+			t.Fatalf("%s: collective did not complete", spec)
+		}
+		rep := aud.Report()
+		if err := rep.Err(); err != nil {
+			t.Fatalf("%s: audit: %v", spec, err)
+		}
+		return obs{dur: uint64(h.Duration()), bytes: rep.InjectedBytes}
+	}
+	const torusSpec, hierSpec = "2x2x2x2", "hier:ring2,ring2,ring2,ring2"
+	for _, backend := range []config.Backend{config.PacketBackend, config.FastBackend} {
+		for _, alg := range []config.Algorithm{config.Baseline, config.Enhanced} {
+			for _, splits := range []int{1, 4} {
+				for _, op := range ops {
+					for _, setBytes := range []int64{4096, 1 << 20} {
+						t.Run(fmt.Sprintf("%v/%v/splits%d/%v/%d", backend, alg, splits, op, setBytes), func(t *testing.T) {
+							torus := run(t, torusSpec, alg, backend, splits, op, setBytes)
+							hier := run(t, hierSpec, alg, backend, splits, op, setBytes)
+							if hier != torus {
+								t.Fatalf("hier ran %d cycles/%d bytes, torus %d cycles/%d bytes",
+									hier.dur, hier.bytes, torus.dur, torus.bytes)
+							}
+						})
+					}
+				}
 			}
 		}
 	}

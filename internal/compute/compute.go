@@ -129,6 +129,91 @@ func (m Model) MemCycles(bytes int64) uint64 {
 	return c
 }
 
+// Placement selects where a layer's (or graph node's) tensors live
+// relative to the disaggregated remote-memory tier: entirely in local
+// HBM (the default), entirely in the pooled remote tier, or split
+// half-and-half. Remote and interleaved placements add a RemoteMemory
+// stall on top of the local DRAM path.
+type Placement int
+
+const (
+	// PlaceLocal keeps tensors in local HBM — the zero value, so every
+	// existing workload and graph is unaffected.
+	PlaceLocal Placement = iota
+	// PlaceRemote stages tensors entirely through the remote pool.
+	PlaceRemote
+	// PlaceInterleaved splits tensors evenly between local HBM and the
+	// remote pool (capacity-driven spillover).
+	PlaceInterleaved
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceLocal:
+		return "local"
+	case PlaceRemote:
+		return "remote"
+	case PlaceInterleaved:
+		return "interleaved"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// ParsePlacement inverts Placement.String; the empty string means local.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "", "local":
+		return PlaceLocal, nil
+	case "remote":
+		return PlaceRemote, nil
+	case "interleaved":
+		return PlaceInterleaved, nil
+	}
+	return 0, fmt.Errorf("compute: unknown tensor placement %q (want local, remote, or interleaved)", s)
+}
+
+// RemoteMemory describes the disaggregated (CXL-style pooled) memory
+// tier: a shared bandwidth/latency domain behind the local HBM. The zero
+// value means no remote tier.
+type RemoteMemory struct {
+	// Bandwidth is the pool bandwidth in bytes/cycle; 0 disables the
+	// tier (every placement behaves like local).
+	Bandwidth float64
+	// Latency is the per-access round-trip latency in cycles, charged
+	// once per remote or interleaved access.
+	Latency uint64
+}
+
+// Enabled reports whether the tier exists.
+func (r RemoteMemory) Enabled() bool { return r.Bandwidth > 0 }
+
+// StallCycles returns the extra cycles placement p adds over local
+// placement when an access streams bytes: zero for local tensors or a
+// disabled tier, the pool round-trip plus the pool streaming time for
+// remote tensors, and the same over half the bytes for interleaved
+// tensors (the local half is already covered by the DRAM path). By
+// construction local <= interleaved <= remote for any pool parameters.
+func (r RemoteMemory) StallCycles(bytes int64, p Placement) uint64 {
+	if !r.Enabled() || p == PlaceLocal || bytes <= 0 {
+		return 0
+	}
+	if p == PlaceInterleaved {
+		bytes = (bytes + 1) / 2
+	}
+	cycles := float64(bytes) / r.Bandwidth
+	c := uint64(cycles)
+	if float64(c) < cycles {
+		c++
+	}
+	return r.Latency + c
+}
+
+// MemCyclesAt is MemCycles plus the remote-tier stall for the given
+// placement — the placement-aware MEM-node cost.
+func (m Model) MemCyclesAt(bytes int64, r RemoteMemory, p Placement) uint64 {
+	return m.MemCycles(bytes) + r.StallCycles(bytes, p)
+}
+
 // LayerCycles returns the cycles for a full layer pass built from one or
 // more GEMMs plus the parameterized non-GEMM overhead.
 func (m Model) LayerCycles(gemms ...GEMM) uint64 {

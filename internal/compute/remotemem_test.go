@@ -1,0 +1,99 @@
+package compute
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePlacement(t *testing.T) {
+	cases := map[string]Placement{
+		"":            PlaceLocal,
+		"local":       PlaceLocal,
+		"remote":      PlaceRemote,
+		"interleaved": PlaceInterleaved,
+	}
+	for in, want := range cases {
+		got, err := ParsePlacement(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePlacement(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"Remote", "cxl", "far", "LOCAL", " local"} {
+		if _, err := ParsePlacement(bad); err == nil {
+			t.Errorf("ParsePlacement(%q): accepted", bad)
+		}
+	}
+	for _, p := range []Placement{PlaceLocal, PlaceRemote, PlaceInterleaved} {
+		if back, err := ParsePlacement(p.String()); err != nil || back != p {
+			t.Errorf("round trip %v -> %q -> %v, %v", p, p.String(), back, err)
+		}
+	}
+}
+
+func TestRemoteMemoryStallCycles(t *testing.T) {
+	r := RemoteMemory{Bandwidth: 50, Latency: 600}
+	if !r.Enabled() {
+		t.Fatal("configured pool reports disabled")
+	}
+	cases := []struct {
+		bytes int64
+		p     Placement
+		want  uint64
+	}{
+		{4 << 20, PlaceLocal, 0},
+		{0, PlaceRemote, 0},
+		{-5, PlaceRemote, 0},
+		{5000, PlaceRemote, 700},      // 600 + 5000/50
+		{5001, PlaceRemote, 701},      // partial transfer rounds up
+		{5000, PlaceInterleaved, 650}, // half the bytes cross the pool link
+		{5001, PlaceInterleaved, 651}, // (5001+1)/2 = 2501 -> ceil(2501/50)+600
+	}
+	for _, tc := range cases {
+		if got := r.StallCycles(tc.bytes, tc.p); got != tc.want {
+			t.Errorf("StallCycles(%d, %v) = %d, want %d", tc.bytes, tc.p, got, tc.want)
+		}
+	}
+	var off RemoteMemory
+	if off.Enabled() {
+		t.Fatal("zero pool reports enabled")
+	}
+	if got := off.StallCycles(4<<20, PlaceRemote); got != 0 {
+		t.Errorf("disabled pool stalled %d cycles", got)
+	}
+}
+
+// Property: for any pool and size, stalls order local <= interleaved <=
+// remote, and each placement's stall is monotone in the byte count.
+func TestPropertyPlacementMonotone(t *testing.T) {
+	f := func(bw uint16, lat uint16, kb uint16) bool {
+		r := RemoteMemory{Bandwidth: float64(bw%1000) + 1, Latency: uint64(lat)}
+		bytes := int64(kb) << 10
+		local := r.StallCycles(bytes, PlaceLocal)
+		inter := r.StallCycles(bytes, PlaceInterleaved)
+		remote := r.StallCycles(bytes, PlaceRemote)
+		if local != 0 || inter > remote {
+			return false
+		}
+		return r.StallCycles(bytes+4096, PlaceRemote) >= remote &&
+			r.StallCycles(bytes+4096, PlaceInterleaved) >= inter
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemCyclesAtAddsStall(t *testing.T) {
+	m := Default()
+	r := RemoteMemory{Bandwidth: 50, Latency: 600}
+	const bytes = 1 << 20
+	base := m.MemCycles(bytes)
+	if got := m.MemCyclesAt(bytes, r, PlaceLocal); got != base {
+		t.Errorf("local MemCyclesAt = %d, want MemCycles %d", got, base)
+	}
+	if got := m.MemCyclesAt(bytes, r, PlaceRemote); got != base+r.StallCycles(bytes, PlaceRemote) {
+		t.Errorf("remote MemCyclesAt = %d, want %d", got, base+r.StallCycles(bytes, PlaceRemote))
+	}
+	if got := m.MemCyclesAt(bytes, RemoteMemory{}, PlaceRemote); got != base {
+		t.Errorf("disabled pool MemCyclesAt = %d, want %d", got, base)
+	}
+}

@@ -109,6 +109,10 @@ const (
 	// paper's 4D/5D future work): one local dimension plus any number of
 	// inter-package ring axes.
 	TorusND
+	// Hierarchical is the compositional N-dimensional topology of the
+	// ASTRA-sim 2.0 feature set: an ordered list of Ring / FullyConnected
+	// / Switch dimensions, each with its own link class and lane count.
+	Hierarchical
 )
 
 func (k TopologyKind) String() string {
@@ -119,6 +123,8 @@ func (k TopologyKind) String() string {
 		return "AllToAll"
 	case TorusND:
 		return "TorusND"
+	case Hierarchical:
+		return "Hierarchical"
 	}
 	return fmt.Sprintf("TopologyKind(%d)", int(k))
 }
@@ -373,6 +379,17 @@ type System struct {
 	// from the ready queue at once.
 	IssueBatch int
 
+	// RemoteMemBandwidth, when positive, enables the disaggregated
+	// remote-memory tier: a pooled CXL-style bandwidth domain in
+	// bytes/cycle that layers or graph nodes with remote/interleaved
+	// tensor placement stream through in addition to local DRAM. Zero
+	// (the default) disables the tier at zero overhead.
+	RemoteMemBandwidth float64
+	// RemoteMemLatency is the per-access round-trip latency of the
+	// remote-memory pool in cycles, charged once per remote or
+	// interleaved access on top of the streaming time.
+	RemoteMemLatency uint64
+
 	// IntraParallel, when positive, runs the packet backend with
 	// intra-run parallel discrete-event simulation (internal/pdes): the
 	// network's event load is partitioned by topology component across
@@ -454,6 +471,8 @@ func (s System) Validate() error {
 		return errors.New("config: IssueBatch must be positive")
 	case s.IntraParallel < 0:
 		return errors.New("config: IntraParallel must be >= 0 (0 = serial engine)")
+	case s.RemoteMemBandwidth < 0:
+		return errors.New("config: RemoteMemBandwidth must be >= 0 (0 = remote tier disabled)")
 	}
 	return nil
 }

@@ -297,6 +297,8 @@ func Extensions() []Figure {
 		{"extdegrade", "Fault injection & graceful degradation", ExtDegradation},
 		{"extgraph", "Graph workload engine: 1F1B pipeline bubbles", ExtGraph},
 		{"extintrapar", "Intra-run parallel DES: determinism and event collapse", ExtIntraPar},
+		{"exthier", "Compositional hierarchical topologies", ExtHier},
+		{"extmem", "Disaggregated remote-memory tier", ExtMem},
 	}
 }
 

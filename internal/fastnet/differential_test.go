@@ -39,6 +39,11 @@ var corpusTopos = []string{
 	"a2a:2x4",    // hierarchical alltoall
 	"sw:4x2",     // switch-based scale-up
 	"so:2x2x1/2", // scale-out spine: exercises mixed-class paths
+	// Compositional hierarchies: every dimension kind, mixed orders.
+	"hier:sw4,fc3,ring4",     // DGX-like switch + FC + ring composition
+	"hier:ring2,sw8",         // halving-doubling through a pow2 switch dim
+	"hier:fc4,ring2x1,sw2",   // FC-first with an explicit lane count
+	"hier:ring2,ring4,ring2", // all-ring composition (TorusND-equivalent)
 }
 
 var corpusOps = []collectives.Op{
@@ -148,8 +153,8 @@ func TestFastExactAcrossConfigs(t *testing.T) {
 			}
 		}
 	}
-	if configs < 70 {
-		t.Fatalf("differential corpus covers only %d configs, want >= 70", configs)
+	if configs < 110 {
+		t.Fatalf("differential corpus covers only %d configs, want >= 110", configs)
 	}
 }
 

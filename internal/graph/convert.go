@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"astrasim/internal/collectives"
+	"astrasim/internal/compute"
 	"astrasim/internal/workload"
 )
 
@@ -53,6 +54,10 @@ func FromDefinition(def workload.Definition, passes int) (*Graph, error) {
 	}
 	comm := func(p int, step string, l int, op collectives.Op, scope workload.Scope, bytes int64, pass string) Node {
 		layer := def.Layers[l]
+		placement := ""
+		if layer.Placement != compute.PlaceLocal {
+			placement = layer.Placement.String()
+		}
 		return Node{
 			ID: id(p, step, l), Kind: KindComm,
 			Deps:  []string{id(p, pass, l)},
@@ -62,6 +67,7 @@ func FromDefinition(def workload.Definition, passes int) (*Graph, error) {
 			Priority:    l,
 			UpdatePerKB: layer.UpdatePerKB,
 			Tag:         layer.Name + " " + pass,
+			Placement:   placement,
 		}
 	}
 

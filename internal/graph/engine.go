@@ -68,6 +68,15 @@ type Engine struct {
 	err       error
 }
 
+// remoteMemory builds the disaggregated-tier model from the system
+// configuration (the zero value when no tier is configured).
+func (e *Engine) remoteMemory() compute.RemoteMemory {
+	return compute.RemoteMemory{
+		Bandwidth: e.inst.Sys.Cfg.RemoteMemBandwidth,
+		Latency:   e.inst.Sys.Cfg.RemoteMemLatency,
+	}
+}
+
 // NewEngine validates g against the instance's topology, resolves COMP
 // gemm shapes and MEM stalls through the compute model, and prepares the
 // dependency scheduler.
@@ -102,7 +111,11 @@ func NewEngine(inst *system.Instance, g *Graph, opts Options) (*Engine, error) {
 				e.nodes[i].cycles = e.model.GEMMCycles(compute.GEMM{M: n.GEMM.M, K: n.GEMM.K, N: n.GEMM.N})
 			}
 		case KindMem:
-			e.nodes[i].cycles = e.model.MemCycles(n.Bytes)
+			p, err := compute.ParsePlacement(n.Placement)
+			if err != nil {
+				return nil, fmt.Errorf("graph %s: node %s: %w", g.Name, n.ID, err)
+			}
+			e.nodes[i].cycles = e.model.MemCyclesAt(n.Bytes, e.remoteMemory(), p)
 		case KindComm:
 			// Pre-compile the collective so scope/topology mismatches
 			// surface here instead of mid-simulation.
@@ -298,7 +311,11 @@ func (e *Engine) execute(i int) {
 			tag = n.ID
 		}
 		raw, handles := commBuckets(st, n.Pass)
-		update := workload.Layer{UpdatePerKB: n.UpdatePerKB}.UpdateCycles(n.Bytes)
+		// Placement was validated by NewEngine; remote tensors pay the
+		// pool stall on top of the local update, like the trainer.
+		p, _ := compute.ParsePlacement(n.Placement)
+		update := workload.Layer{UpdatePerKB: n.UpdatePerKB}.UpdateCycles(n.Bytes) +
+			e.remoteMemory().StallCycles(n.Bytes, p)
 		h, err := e.inst.Sys.Issue(system.CollectiveSpec{
 			Op: op, Bytes: n.Bytes, Tag: tag, Priority: n.Priority, Scope: dims,
 		}, func(h *system.Handle) {

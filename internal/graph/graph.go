@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"astrasim/internal/collectives"
+	"astrasim/internal/compute"
 	"astrasim/internal/workload"
 )
 
@@ -91,6 +92,12 @@ type Node struct {
 	Priority    int    `json:"priority,omitempty"`
 	UpdatePerKB uint64 `json:"update_per_kb,omitempty"`
 	Tag         string `json:"tag,omitempty"`
+
+	// COMM/MEM: where the node's tensor lives relative to the
+	// disaggregated remote-memory tier ("local", "remote",
+	// "interleaved"; empty = local). Remote placements add the
+	// configured pool stall to the node's memory or update time.
+	Placement string `json:"placement,omitempty"`
 
 	// SEND/RECV: endpoints and the paired node's ID (mutual).
 	Src  int    `json:"src,omitempty"`
@@ -222,7 +229,7 @@ func (g *Graph) Validate() error {
 					return fail(i, "gemm dimensions must be positive, got %dx%dx%d", n.GEMM.M, n.GEMM.K, n.GEMM.N)
 				}
 			}
-			if n.Op != "" || n.Bytes != 0 || n.Peer != "" {
+			if n.Op != "" || n.Bytes != 0 || n.Peer != "" || n.Placement != "" {
 				return fail(i, "COMP with communication fields set")
 			}
 		case KindComm:
@@ -241,6 +248,9 @@ func (g *Graph) Validate() error {
 			}
 			if n.Peer != "" || n.GEMM != nil || n.Cycles != 0 {
 				return fail(i, "COMM with non-collective fields set")
+			}
+			if _, err := compute.ParsePlacement(n.Placement); err != nil {
+				return fail(i, "%v", err)
 			}
 		case KindSend, KindRecv:
 			j, ok := idx[n.Peer]
@@ -265,7 +275,7 @@ func (g *Graph) Validate() error {
 			} else if n.Bytes != 0 || n.Src != 0 || n.Dst != 0 {
 				return fail(i, "RECV carries no payload fields (they live on the SEND)")
 			}
-			if n.Op != "" || n.GEMM != nil || n.Cycles != 0 {
+			if n.Op != "" || n.GEMM != nil || n.Cycles != 0 || n.Placement != "" {
 				return fail(i, "%s with non-p2p fields set", n.Kind)
 			}
 		case KindMem:
@@ -274,6 +284,9 @@ func (g *Graph) Validate() error {
 			}
 			if n.Op != "" || n.Peer != "" || n.GEMM != nil || n.Cycles != 0 {
 				return fail(i, "MEM with non-memory fields set")
+			}
+			if _, err := compute.ParsePlacement(n.Placement); err != nil {
+				return fail(i, "%v", err)
 			}
 		default:
 			return fail(i, "unknown kind %q", n.Kind)

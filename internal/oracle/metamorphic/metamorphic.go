@@ -104,6 +104,7 @@ type Rule struct {
 // same families the differential corpus covers.
 var corpusTopos = []string{
 	"1x8x1", "2x2x2", "2x4x2", "2x2x2x2", "a2a:2x4", "sw:4x2", "so:2x2x1/2", "4x4x4",
+	"hier:sw4,fc3,ring4", "hier:ring2,sw8", "hier:ring2,ring4,ring2",
 }
 
 var corpusOps = []collectives.Op{

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"astrasim/internal/collectives"
 	"astrasim/internal/config"
 )
 
@@ -42,6 +43,33 @@ func TestSuiteHoldsOnSeededCorpusFastBackend(t *testing.T) {
 		corpus[i].Backend = config.FastBackend
 	}
 	failures, err := Run(Rules(), corpus, runtime.NumCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range failures {
+		t.Errorf("%s", f)
+	}
+}
+
+// A hand-picked smoke corpus small enough to run even under -short:
+// every rule family fires on at least one case, so quick CI runs still
+// execute every Check body end to end. The topologies are the smallest
+// member of each family the full corpus draws from, and the byte sizes
+// keep each simulation in the low milliseconds.
+func TestSuiteHoldsOnSmokeCorpus(t *testing.T) {
+	smoke := []Case{
+		// Packet-backend cases keep the fault-dependent rules
+		// (straggler/drop-rate/retry) exercised.
+		{Topo: "2x2x1", Op: collectives.AllReduce, Alg: config.Baseline, Bytes: 8192, Splits: 1},
+		{Topo: "1x8x1", Op: collectives.ReduceScatter, Alg: config.Enhanced, Bytes: 4096, Splits: 2},
+		// Fast-backend cases cover the analytical transport path.
+		{Topo: "a2a:2x2", Op: collectives.AllToAll, Alg: config.Baseline, Bytes: 8192, Splits: 1, Backend: config.FastBackend},
+		{Topo: "sw:2x2", Op: collectives.AllGather, Alg: config.Baseline, Bytes: 8192, Splits: 1, Backend: config.FastBackend},
+		// Two same-kind, same-class (but unequal) package dims so the
+		// hier-dim-permutation rule has a pair to swap.
+		{Topo: "hier:ring2,ring4,ring2", Op: collectives.AllReduce, Alg: config.Enhanced, Bytes: 8192, Splits: 1, Backend: config.FastBackend},
+	}
+	failures, err := Run(Rules(), smoke, runtime.NumCPU())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package metamorphic
 
 import (
 	"fmt"
+	"strings"
 
 	"astrasim/internal/cli"
 	"astrasim/internal/collectives"
@@ -47,6 +48,16 @@ func Rules() []Rule {
 			Name:  "enhanced-vs-baseline",
 			Doc:   "under asymmetric local bandwidth, the enhanced hierarchical all-reduce never loses to baseline (paper §III-D)",
 			Check: checkEnhancedVsBaseline,
+		},
+		{
+			Name:  "hier-dim-permutation",
+			Doc:   "permuting two same-kind, same-class dimensions of a hierarchical composition shifts the completion time only by per-step quantization (5% band)",
+			Check: checkHierDimPermutation,
+		},
+		{
+			Name:  "class-bandwidth-monotone",
+			Doc:   "doubling any single link class's bandwidth never slows a run down",
+			Check: checkClassBandwidthMonotone,
 		},
 		{
 			Name:  "retry-policy-noop",
@@ -237,6 +248,114 @@ func checkEnhancedVsBaseline(c Case) error {
 	}
 	if enh.Duration > base.Duration {
 		return fmt.Errorf("enhanced all-reduce ran %d cycles, slower than baseline's %d on an asymmetric fabric", enh.Duration, base.Duration)
+	}
+	return nil
+}
+
+// hierClassToken renders a link class in the hier: spec grammar.
+func hierClassToken(c topology.LinkClass) string {
+	switch c {
+	case topology.IntraPackage:
+		return "local"
+	case topology.ScaleOutLink:
+		return "so"
+	default:
+		return "pkg"
+	}
+}
+
+// hierTopoSpec renders dimension specs back into the CLI hier: grammar.
+func hierTopoSpec(specs []topology.DimSpec) string {
+	parts := make([]string, len(specs))
+	for i, s := range specs {
+		parts[i] = fmt.Sprintf("%s%dx%d@%s", s.Kind, s.Size, s.Lanes, hierClassToken(s.Class))
+	}
+	return "hier:" + strings.Join(parts, ",")
+}
+
+// checkHierDimPermutation applies to hierarchical compositions with two
+// inter-package dimensions of the same kind and link class: swapping them
+// reorders the collective's phases but moves the same bytes over the same
+// link classes, so the completion time may shift only by per-step flit and
+// message quantization. The relation is banded, not exact: different
+// phase orders round chunk subdivisions differently (measured deltas stay
+// well under 1%), unlike the all-ring TorusND equivalence, which is
+// byte-identical because the construction coincides link-for-link.
+func checkHierDimPermutation(c Case) error {
+	if !strings.HasPrefix(c.Topo, "hier:") {
+		return nil // rule only applies to hierarchical compositions
+	}
+	specs, err := cli.ParseHierSpec(strings.TrimPrefix(c.Topo, "hier:"), cli.DefaultTopologyOptions())
+	if err != nil {
+		return err
+	}
+	// Find a swappable pair among the inter-package dimensions: same kind
+	// and class (so traffic stays on the same fabric), differing otherwise
+	// (swapping identical specs is the identity).
+	i, j := -1, -1
+	for a := 1; a < len(specs) && i < 0; a++ {
+		for b := a + 1; b < len(specs); b++ {
+			if specs[a].Kind == specs[b].Kind && specs[a].Class == specs[b].Class && specs[a] != specs[b] {
+				i, j = a, b
+				break
+			}
+		}
+	}
+	if i < 0 {
+		return nil // no permutable dimension pair; rule does not apply
+	}
+	base, err := simulate(c, runOpts{})
+	if err != nil {
+		return err
+	}
+	swapped := append([]topology.DimSpec(nil), specs...)
+	swapped[i], swapped[j] = swapped[j], swapped[i]
+	d := c
+	d.Topo = hierTopoSpec(swapped)
+	perm, err := simulate(d, runOpts{})
+	if err != nil {
+		return err
+	}
+	delta := int64(perm.Duration) - int64(base.Duration)
+	if delta < 0 {
+		delta = -delta
+	}
+	if band := int64(base.Duration)/20 + 256; delta > band {
+		return fmt.Errorf("swapping dims %d and %d moved the run %d -> %d cycles (|delta| %d beyond band %d)",
+			i, j, base.Duration, perm.Duration, delta, band)
+	}
+	return nil
+}
+
+// checkClassBandwidthMonotone doubles one link class's bandwidth at a
+// time: a single-chunk run must never slow down when any single fabric
+// gets faster — per-dimension bandwidth monotonicity for compositional
+// topologies, where each dimension maps to one class. The rule clamps to
+// one chunk (like bandwidth-serialization): with pipelined chunk splits a
+// faster early phase can reshuffle queueing at later phases by a handful
+// of cycles, so only the sequential-phase regime is exactly monotone.
+func checkClassBandwidthMonotone(c Case) error {
+	c.Splits = 1
+	base, err := simulate(c, runOpts{})
+	if err != nil {
+		return err
+	}
+	muts := []struct {
+		name string
+		f    func(*config.Network)
+	}{
+		{"local", func(n *config.Network) { n.LocalLinkBandwidth *= 2 }},
+		{"package", func(n *config.Network) { n.PackageLinkBandwidth *= 2 }},
+		{"scale-out", func(n *config.Network) { n.ScaleOutLinkBandwidth *= 2 }},
+	}
+	for _, m := range muts {
+		fast, err := simulate(c, runOpts{net: m.f})
+		if err != nil {
+			return err
+		}
+		if fast.Duration > base.Duration {
+			return fmt.Errorf("doubling %s-link bandwidth slowed the run: %d -> %d cycles", m.name, base.Duration, fast.Duration)
+		}
 	}
 	return nil
 }

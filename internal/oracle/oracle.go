@@ -54,6 +54,7 @@ package oracle
 
 import (
 	"fmt"
+	"math/bits"
 
 	"astrasim/internal/collectives"
 	"astrasim/internal/config"
@@ -65,19 +66,32 @@ import (
 // It deliberately re-derives the algebra of collectives.Phase rather than
 // importing it, so the two implementations check each other.
 type Phase struct {
-	Dim    topology.Dim
-	Op     collectives.Op
-	Direct bool
-	Size   int
-	Scale  float64
+	Dim     topology.Dim
+	Op      collectives.Op
+	Direct  bool
+	Halving bool
+	Size    int
+	Scale   float64
+}
+
+// halvingRounds is log2(N); halving phases only compile on power-of-two
+// sizes.
+func (p Phase) halvingRounds() int {
+	return bits.Len(uint(p.Size)) - 1
 }
 
 // NumSteps mirrors the per-phase step count: ring RS/AG/A2A take N-1
 // dependent steps, ring AR takes 2(N-1), a direct exchange takes 1 (2 for
-// AR).
+// AR), and halving-doubling takes log2(N) (2*log2(N) for AR).
 func (p Phase) NumSteps() int {
 	if p.Size <= 1 {
 		return 0
+	}
+	if p.Halving {
+		if p.Op == collectives.AllReduce {
+			return 2 * p.halvingRounds()
+		}
+		return p.halvingRounds()
 	}
 	if p.Direct {
 		if p.Op == collectives.AllReduce {
@@ -93,7 +107,8 @@ func (p Phase) NumSteps() int {
 
 // StepBytes mirrors the per-message size algebra: ring RS/AG/AR messages
 // are D/N, ring all-to-all relays shrink as D(N-1-s)/N, direct exchanges
-// send D/N to every peer; never zero bytes.
+// send D/N to every peer, halving sweeps exchange D/2^(s+1) and doubling
+// sweeps D*2^s/N; never zero bytes.
 func (p Phase) StepBytes(step int, chunkBytes int64) int64 {
 	if p.Size <= 1 {
 		return 0
@@ -101,9 +116,22 @@ func (p Phase) StepBytes(step int, chunkBytes int64) int64 {
 	d := p.Scale * float64(chunkBytes)
 	n := float64(p.Size)
 	var b float64
-	if !p.Direct && p.Op == collectives.AllToAll {
+	switch {
+	case p.Halving:
+		k := p.halvingRounds()
+		s := step
+		doubling := p.Op == collectives.AllGather
+		if p.Op == collectives.AllReduce && step >= k {
+			doubling, s = true, step-k
+		}
+		if doubling {
+			b = d * float64(int64(1)<<s) / n
+		} else {
+			b = d / float64(int64(2)<<s)
+		}
+	case !p.Direct && p.Op == collectives.AllToAll:
 		b = d * (n - 1 - float64(step)) / n
-	} else {
+	default:
 		b = d / n
 	}
 	bytes := int64(b)
@@ -111,6 +139,26 @@ func (p Phase) StepBytes(step int, chunkBytes int64) int64 {
 		bytes = 1
 	}
 	return bytes
+}
+
+// halvingPartnerIndex mirrors the XOR-partner schedule: recursive halving
+// across masks N/2..1 for the reduce-scatter sweep, recursive doubling
+// across masks 1..N/2 for the all-gather sweep, the two back to back for
+// all-reduce.
+func (p Phase) halvingPartnerIndex(idx, step int) int {
+	k := p.halvingRounds()
+	switch p.Op {
+	case collectives.ReduceScatter:
+		return idx ^ (p.Size >> (step + 1))
+	case collectives.AllGather:
+		return idx ^ (1 << step)
+	case collectives.AllReduce:
+		if step < k {
+			return idx ^ (p.Size >> (step + 1))
+		}
+		return idx ^ (1 << (step - k))
+	}
+	panic(fmt.Sprintf("oracle: no halving schedule for %v", p.Op))
 }
 
 // messagesPerStep is how many messages each node sends (and receives) per
@@ -143,28 +191,28 @@ func CompilePhases(op collectives.Op, topo topology.Topology, alg config.Algorit
 		if alg == config.Enhanced && len(dims) >= 2 && dims[0].Dim == topology.DimLocal {
 			local := dims[0]
 			m := float64(local.Size)
-			phases := []Phase{{Dim: local.Dim, Op: collectives.ReduceScatter, Direct: local.Direct, Size: local.Size, Scale: 1}}
+			phases := []Phase{dimPhase(local, collectives.ReduceScatter, 1)}
 			for _, d := range dims[1:] {
-				phases = append(phases, Phase{Dim: d.Dim, Op: collectives.AllReduce, Direct: d.Direct, Size: d.Size, Scale: 1 / m})
+				phases = append(phases, dimPhase(d, collectives.AllReduce, 1/m))
 			}
-			return append(phases, Phase{Dim: local.Dim, Op: collectives.AllGather, Direct: local.Direct, Size: local.Size, Scale: 1}), nil
+			return append(phases, dimPhase(local, collectives.AllGather, 1)), nil
 		}
 		phases := make([]Phase, 0, len(dims))
 		for _, d := range dims {
-			phases = append(phases, Phase{Dim: d.Dim, Op: collectives.AllReduce, Direct: d.Direct, Size: d.Size, Scale: 1})
+			phases = append(phases, dimPhase(d, collectives.AllReduce, 1))
 		}
 		return phases, nil
 	case collectives.AllToAll:
 		phases := make([]Phase, 0, len(dims))
 		for _, d := range dims {
-			phases = append(phases, Phase{Dim: d.Dim, Op: collectives.AllToAll, Direct: d.Direct, Size: d.Size, Scale: 1})
+			phases = append(phases, dimPhase(d, collectives.AllToAll, 1))
 		}
 		return phases, nil
 	case collectives.ReduceScatter:
 		phases := make([]Phase, 0, len(dims))
 		scale := 1.0
 		for _, d := range dims {
-			phases = append(phases, Phase{Dim: d.Dim, Op: collectives.ReduceScatter, Direct: d.Direct, Size: d.Size, Scale: scale})
+			phases = append(phases, dimPhase(d, collectives.ReduceScatter, scale))
 			scale /= float64(d.Size)
 		}
 		return phases, nil
@@ -177,11 +225,25 @@ func CompilePhases(op collectives.Op, topo topology.Topology, alg config.Algorit
 		for i := len(dims) - 1; i >= 0; i-- {
 			d := dims[i]
 			scale *= float64(d.Size)
-			phases = append(phases, Phase{Dim: d.Dim, Op: collectives.AllGather, Direct: d.Direct, Size: d.Size, Scale: scale})
+			phases = append(phases, dimPhase(d, collectives.AllGather, scale))
 		}
 		return phases, nil
 	}
 	return nil, fmt.Errorf("oracle: cannot compile op %v", op)
+}
+
+// dimPhase builds one phase over dimension d, re-deriving the transport
+// choice: halving-doubling on halving dimensions (all-to-all stays a
+// direct exchange there), direct on other direct dimensions, ring
+// otherwise.
+func dimPhase(d topology.DimInfo, op collectives.Op, scale float64) Phase {
+	halving := d.Halving && op != collectives.AllToAll
+	return Phase{
+		Dim: d.Dim, Op: op,
+		Direct:  d.Direct && !halving,
+		Halving: halving,
+		Size:    d.Size, Scale: scale,
+	}
 }
 
 // Prediction is the oracle's output for one collective.
@@ -349,10 +411,14 @@ func (m *Model) Estimate(op collectives.Op, bytes int64) (float64, error) {
 }
 
 // samplePath returns a representative message path for one phase: node
-// 0's group-neighbor transfer (ring successor, or first direct peer).
+// 0's group-neighbor transfer (ring successor, first direct peer, or the
+// first halving partner).
 func (m *Model) samplePath(ph Phase) []topology.LinkID {
 	group := m.topo.Group(ph.Dim, 0)
 	src := group[0]
+	if ph.Halving {
+		return m.topo.PathLinks(ph.Dim, 0, src, group[ph.halvingPartnerIndex(0, 0)])
+	}
 	if ph.Direct {
 		for _, peer := range group {
 			if peer != src {

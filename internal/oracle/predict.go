@@ -370,21 +370,32 @@ func (e *evaluator) nextPhase() {
 }
 
 // sendStep issues node n's messages for step s of phase p: one ring
-// successor message, or Size-1 direct peer messages in group order.
+// successor message, Size-1 direct peer messages in group order, or one
+// XOR-partner message on halving phases.
 func (e *evaluator) sendStep(n topology.Node, p, s int) {
 	ph := e.phases[p]
 	size := ph.StepBytes(s, e.bytes)
-	if ph.Direct {
+	switch {
+	case ph.Halving:
+		group := e.m.topo.Group(ph.Dim, n)
+		for i, m := range group {
+			if m == n {
+				e.sendMsg(n, group[ph.halvingPartnerIndex(i, s)], p, s, size, ph)
+				return
+			}
+		}
+		e.fail(fmt.Errorf("oracle: node %d missing from its own %v group (internal modeling bug)", n, ph.Dim))
+	case ph.Direct:
 		for _, peer := range e.m.topo.Group(ph.Dim, n) {
 			if peer == n {
 				continue
 			}
 			e.sendMsg(n, peer, p, s, size, ph)
 		}
-		return
+	default:
+		ring := e.m.topo.RingOf(ph.Dim, n, 0)
+		e.sendMsg(n, ring.Next(n), p, s, size, ph)
 	}
-	ring := e.m.topo.RingOf(ph.Dim, n, 0)
-	e.sendMsg(n, ring.Next(n), p, s, size, ph)
 }
 
 // sendMsg routes one message over the phase dimension's channel-0 links

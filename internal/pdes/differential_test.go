@@ -31,6 +31,8 @@ var corpusTopos = []string{
 	"a2a:2x4",    // hierarchical alltoall
 	"sw:4x2",     // switch-based scale-up
 	"so:2x2x1/2", // scale-out spine: exercises mixed-class paths
+	// Compositional hierarchy: switch (halving-doubling) + ring dims.
+	"hier:ring2,sw4",
 }
 
 var corpusOps = []collectives.Op{

@@ -50,7 +50,7 @@ type WorkloadSpec struct {
 // simulation at a different priority is the same result.
 type Submission struct {
 	// Topology is the shared spec grammar: "MxNxK", "MxA1x...xAd",
-	// "a2a:MxN", "sw:MxN", "so:MxNxK/P".
+	// "a2a:MxN", "sw:MxN", "so:MxNxK/P", "hier:sw8,fc4,ring32".
 	Topology string `json:"topology"`
 	// Backend is packet|fast (default packet).
 	Backend string `json:"backend,omitempty"`
@@ -69,6 +69,12 @@ type Submission struct {
 	// defaults when absent). Field names are the config.Network ones,
 	// e.g. {"LocalPacketSize": 256}.
 	Network *config.Network `json:"network,omitempty"`
+	// RemoteMemBandwidth/RemoteMemLatency configure the disaggregated
+	// remote-memory tier (bytes/cycle and cycles); bandwidth 0 (the
+	// default) disables it. Workload layers and graph nodes select
+	// placement on the tier individually.
+	RemoteMemBandwidth float64 `json:"remote_mem_bandwidth,omitempty"`
+	RemoteMemLatency   uint64  `json:"remote_mem_latency,omitempty"`
 
 	Collective *CollectiveSpec `json:"collective,omitempty"`
 	Workload   *WorkloadSpec   `json:"workload,omitempty"`
@@ -158,12 +164,19 @@ func compile(sub *Submission) (*compiled, error) {
 	if sub.IntraParallel < 0 {
 		return nil, badf("intra_parallel must be >= 0, got %d", sub.IntraParallel)
 	}
+	if sub.RemoteMemBandwidth < 0 {
+		return nil, badf("remote_mem_bandwidth must be >= 0, got %v", sub.RemoteMemBandwidth)
+	}
+	if sub.RemoteMemBandwidth == 0 && sub.RemoteMemLatency != 0 {
+		return nil, badf("remote_mem_latency needs remote_mem_bandwidth > 0")
+	}
 	opts := []astrasim.Option{
 		astrasim.WithBackend(backend),
 		astrasim.WithIntraParallel(sub.IntraParallel),
 		astrasim.WithAlgorithm(alg),
 		astrasim.WithSchedulingPolicy(policy),
 		astrasim.WithNetwork(net),
+		astrasim.WithRemoteMemory(sub.RemoteMemBandwidth, sub.RemoteMemLatency),
 	}
 	if sub.SetSplits != 0 {
 		if sub.SetSplits < 1 {
@@ -341,17 +354,19 @@ func compileWorkload(w *WorkloadSpec) (astrasim.Definition, int, error) {
 // submissions that simulate identically hash identically regardless of
 // which defaults they spelled out.
 type canonicalSubmission struct {
-	Topology   string
-	Backend    string
-	Algorithm  string
-	Scheduling string
-	SetSplits  int
-	Rings      [4]int
-	Network    config.Network
-	Collective *CollectiveSpec
-	Workload   *WorkloadSpec
-	Graph      json.RawMessage
-	Faults     json.RawMessage
+	Topology           string
+	Backend            string
+	Algorithm          string
+	Scheduling         string
+	SetSplits          int
+	Rings              [4]int
+	Network            config.Network
+	RemoteMemBandwidth float64
+	RemoteMemLatency   uint64
+	Collective         *CollectiveSpec
+	Workload           *WorkloadSpec
+	Graph              json.RawMessage
+	Faults             json.RawMessage
 }
 
 // contentAddress derives the job's cache key: sha256 over the canonical
@@ -361,15 +376,17 @@ type canonicalSubmission struct {
 func contentAddress(sub *Submission, backend config.Backend, alg config.Algorithm,
 	policy config.SchedulingPolicy, net config.Network, rings [4]int) (string, error) {
 	canon := canonicalSubmission{
-		Topology:   sub.Topology,
-		Backend:    backend.String(),
-		Algorithm:  alg.String(),
-		Scheduling: policy.String(),
-		SetSplits:  sub.SetSplits,
-		Rings:      rings,
-		Network:    net,
-		Collective: sub.Collective,
-		Workload:   sub.Workload,
+		Topology:           sub.Topology,
+		Backend:            backend.String(),
+		Algorithm:          alg.String(),
+		Scheduling:         policy.String(),
+		SetSplits:          sub.SetSplits,
+		Rings:              rings,
+		Network:            net,
+		RemoteMemBandwidth: sub.RemoteMemBandwidth,
+		RemoteMemLatency:   sub.RemoteMemLatency,
+		Collective:         sub.Collective,
+		Workload:           sub.Workload,
 	}
 	var err error
 	if canon.Graph, err = canonicalJSON(sub.Graph); err != nil {

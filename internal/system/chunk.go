@@ -109,7 +109,8 @@ func (c *chunk) activate() {
 	}
 }
 
-// neededPerStep is how many messages a node must receive per step.
+// neededPerStep is how many messages a node must receive per step
+// (halving phases, like rings, expect exactly one partner message).
 func neededPerStep(ph collectives.Phase) int {
 	if ph.Direct {
 		return ph.Size - 1
@@ -122,17 +123,33 @@ func (c *chunk) sendStep(n topology.Node, p, s int) {
 	ph := c.coll.phases[p]
 	channel := c.channelFor(ph)
 	size := ph.StepBytes(s, c.bytes)
-	if ph.Direct {
+	switch {
+	case ph.Halving:
+		c.sendMsg(n, halvingPartner(c.sys.Topo, ph, n, s), p, s, size, channel, ph)
+	case ph.Direct:
 		for _, peer := range c.sys.Topo.Group(ph.Dim, n) {
 			if peer == n {
 				continue
 			}
 			c.sendMsg(n, peer, p, s, size, channel, ph)
 		}
-		return
+	default:
+		ring := c.sys.Topo.RingOf(ph.Dim, n, channel)
+		c.sendMsg(n, ring.Next(n), p, s, size, channel, ph)
 	}
-	ring := c.sys.Topo.RingOf(ph.Dim, n, channel)
-	c.sendMsg(n, ring.Next(n), p, s, size, channel, ph)
+}
+
+// halvingPartner resolves node n's XOR partner for step s of a halving
+// phase: the pairing is over positions in the dimension group, which every
+// member enumerates in the same order.
+func halvingPartner(topo topology.Topology, ph collectives.Phase, n topology.Node, s int) topology.Node {
+	group := topo.Group(ph.Dim, n)
+	for i, m := range group {
+		if m == n {
+			return group[ph.HalvingPartnerIndex(i, s)]
+		}
+	}
+	panic(fmt.Sprintf("system: node %d missing from its own %v group", n, ph.Dim))
 }
 
 // sendMsg injects one message and wires its delivery back into the chunk

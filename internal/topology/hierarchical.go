@@ -1,0 +1,426 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DimKind selects the connectivity pattern of one Hierarchical dimension
+// (the ASTRA-sim 2.0 per-dimension network types).
+type DimKind int
+
+const (
+	// KindRing connects each group as parallel unidirectional rings
+	// (split-bidirectional beyond dimension 0, exactly like TorusND).
+	KindRing DimKind = iota
+	// KindFullyConnected gives every ordered pair in a group a dedicated
+	// unidirectional link per lane (direct single-step exchange).
+	KindFullyConnected
+	// KindSwitch connects each group through per-group switch nodes
+	// (lanes = switch count); power-of-two switch groups schedule
+	// halving-doubling collectives.
+	KindSwitch
+)
+
+func (k DimKind) String() string {
+	switch k {
+	case KindRing:
+		return "ring"
+	case KindFullyConnected:
+		return "fc"
+	case KindSwitch:
+		return "sw"
+	}
+	return fmt.Sprintf("DimKind(%d)", int(k))
+}
+
+// ParseDimKind inverts DimKind.String.
+func ParseDimKind(s string) (DimKind, error) {
+	switch s {
+	case "ring":
+		return KindRing, nil
+	case "fc":
+		return KindFullyConnected, nil
+	case "sw":
+		return KindSwitch, nil
+	}
+	return 0, fmt.Errorf("topology: unknown dimension kind %q", s)
+}
+
+// DimSpec describes one dimension of a Hierarchical composition. The link
+// class selects the bandwidth/latency/efficiency/packet-size bundle the
+// network layer assigns (Table IV); lane count multiplies physical links,
+// not per-link bandwidth, exactly as for torus rings.
+type DimSpec struct {
+	Kind DimKind
+	// Size is the number of NPUs in one group of this dimension.
+	Size int
+	// Lanes counts parallel fabric planes: unidirectional local rings /
+	// bidirectional ring pairs (KindRing, dimension 0 / beyond),
+	// per-pair links (KindFullyConnected), or switches (KindSwitch).
+	Lanes int
+	// Class is the link class for every link this dimension owns.
+	Class LinkClass
+}
+
+func (s DimSpec) String() string {
+	return fmt.Sprintf("%s%d", s.Kind, s.Size)
+}
+
+// fcKey addresses one fully-connected link: lane plus ordered endpoints.
+type fcKey struct {
+	lane     int
+	src, dst Node
+}
+
+// Hierarchical composes an ordered list of dimension specs into one
+// topology: dimension 0 is the intra-package ("local") dimension, higher
+// dimensions connect NPUs with equal lower coordinates across groups —
+// the compositional network generalization of ASTRA-sim 2.0. Ring
+// dimensions reproduce TorusND's construction link-for-link (the
+// equivalence test pins this), fully-connected dimensions add a dedicated
+// unidirectional link per ordered pair per lane, and switch dimensions
+// add per-group switch nodes with up/down links per lane.
+//
+// Node numbering matches TorusND: with sizes [S0, S1, ..., Sd] the
+// package index is mixed-radix over (S1..Sd) with S1 fastest, and
+// NPU id = pkg*S0 + local. Switch nodes occupy ids [NumNPUs, NumNodes).
+type Hierarchical struct {
+	specs   []DimSpec
+	chans   []int // scheduling channels per dimension
+	strides []int // package-index stride per dimension > 0
+
+	links []LinkSpec
+	// rings[dim][group][channel] for ring dimensions (nil otherwise);
+	// slots[dim] maps a group key to its group slot.
+	rings [][][]*Ring
+	slots []map[int]int
+	// swUp/swDown[dim][npu][lane] for switch dimensions (nil otherwise).
+	swUp, swDown []map[Node][]LinkID
+	// fc[dim] for fully-connected dimensions (nil otherwise).
+	fc []map[fcKey]LinkID
+
+	switches int // total switch nodes across all switch dimensions
+}
+
+// NewHierarchical builds the composition described by specs (at least one
+// dimension). Unit dimensions (Size 1) are legal and own no links.
+func NewHierarchical(specs []DimSpec) (*Hierarchical, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("topology: hierarchical composition needs at least one dimension")
+	}
+	h := &Hierarchical{specs: append([]DimSpec(nil), specs...)}
+	for i, s := range specs {
+		switch s.Kind {
+		case KindRing, KindFullyConnected, KindSwitch:
+		default:
+			return nil, fmt.Errorf("topology: dimension %d has unknown kind %v", i, s.Kind)
+		}
+		if s.Size <= 0 {
+			return nil, fmt.Errorf("topology: dimension %d (%s) has invalid size %d", i, s.Kind, s.Size)
+		}
+		if s.Lanes <= 0 {
+			return nil, fmt.Errorf("topology: dimension %d (%s) has invalid lane count %d", i, s.Kind, s.Lanes)
+		}
+		switch s.Class {
+		case IntraPackage, InterPackage, ScaleOutLink:
+		default:
+			return nil, fmt.Errorf("topology: dimension %d (%s) has unknown link class %v", i, s.Kind, s.Class)
+		}
+		ch := s.Lanes
+		if s.Kind == KindRing && i > 0 {
+			ch = 2 * s.Lanes // split bidirectional rings, as in TorusND
+		}
+		h.chans = append(h.chans, ch)
+	}
+	stride := 1
+	h.strides = make([]int, len(specs))
+	for i := 1; i < len(specs); i++ {
+		h.strides[i] = stride
+		stride *= specs[i].Size
+	}
+	h.build()
+	return h, nil
+}
+
+func (h *Hierarchical) addLink(src, dst Node, class LinkClass) LinkID {
+	id := LinkID(len(h.links))
+	h.links = append(h.links, LinkSpec{ID: id, Src: src, Dst: dst, Class: class})
+	return id
+}
+
+func (h *Hierarchical) makeRing(d Dim, channel int, base []Node, class LinkClass) *Ring {
+	nodes := ringDirection(base, channel)
+	r := &Ring{Dim: d, Channel: channel, Nodes: nodes}
+	if len(nodes) > 1 {
+		r.Links = make([]LinkID, len(nodes))
+		for i := range nodes {
+			r.Links[i] = h.addLink(nodes[i], nodes[(i+1)%len(nodes)], class)
+		}
+	}
+	return r
+}
+
+// dimOf maps a dimension index to its Dim identifier (local first, then
+// the inter-package axes in declaration order, as in TorusND).
+func dimOf(i int) Dim {
+	if i == 0 {
+		return DimLocal
+	}
+	return AxisDim(i - 1)
+}
+
+// groupKey identifies the group a node belongs to along a dimension: all
+// coordinates except that dimension's.
+func (h *Hierarchical) groupKey(dim int, n Node) int {
+	l, pkgCoords := h.coords(n)
+	if dim == 0 {
+		return int(n) / h.specs[0].Size // the package index
+	}
+	key := l
+	mult := h.specs[0].Size
+	for i := 1; i < len(h.specs); i++ {
+		if i == dim {
+			continue
+		}
+		key += pkgCoords[i] * mult
+		mult *= h.specs[i].Size
+	}
+	return key
+}
+
+// coords returns the local index and per-dimension package coordinates
+// (indexed by dimension; entry 0 unused).
+func (h *Hierarchical) coords(n Node) (int, []int) {
+	if n < 0 || int(n) >= h.NumNPUs() {
+		panic(fmt.Sprintf("topology: node %d out of range for %s", n, h.Name()))
+	}
+	l := int(n) % h.specs[0].Size
+	p := int(n) / h.specs[0].Size
+	c := make([]int, len(h.specs))
+	for i := 1; i < len(h.specs); i++ {
+		c[i] = p / h.strides[i] % h.specs[i].Size
+	}
+	return l, c
+}
+
+// dimGroup returns the ordered nodes sharing every coordinate with n
+// except along the given dimension.
+func (h *Hierarchical) dimGroup(dim int, n Node) []Node {
+	l, c := h.coords(n)
+	out := make([]Node, h.specs[dim].Size)
+	for v := 0; v < h.specs[dim].Size; v++ {
+		if dim == 0 {
+			p := 0
+			for i := 1; i < len(h.specs); i++ {
+				p += c[i] * h.strides[i]
+			}
+			out[v] = Node(p*h.specs[0].Size + v)
+			continue
+		}
+		p := 0
+		for i := 1; i < len(h.specs); i++ {
+			coord := c[i]
+			if i == dim {
+				coord = v
+			}
+			p += coord * h.strides[i]
+		}
+		out[v] = Node(p*h.specs[0].Size + l)
+	}
+	return out
+}
+
+func (h *Hierarchical) build() {
+	n := len(h.specs)
+	h.rings = make([][][]*Ring, n)
+	h.slots = make([]map[int]int, n)
+	h.swUp = make([]map[Node][]LinkID, n)
+	h.swDown = make([]map[Node][]LinkID, n)
+	h.fc = make([]map[fcKey]LinkID, n)
+	for dim, spec := range h.specs {
+		numGroups := h.NumNPUs() / spec.Size
+		seen := make(map[int]int, numGroups) // groupKey -> slot
+		switch spec.Kind {
+		case KindRing:
+			h.rings[dim] = make([][]*Ring, numGroups)
+		case KindSwitch:
+			h.swUp[dim] = make(map[Node][]LinkID, h.NumNPUs())
+			h.swDown[dim] = make(map[Node][]LinkID, h.NumNPUs())
+		case KindFullyConnected:
+			h.fc[dim] = make(map[fcKey]LinkID)
+		}
+		for v := 0; v < h.NumNPUs(); v++ {
+			key := h.groupKey(dim, Node(v))
+			if _, ok := seen[key]; ok {
+				continue
+			}
+			slot := len(seen)
+			seen[key] = slot
+			base := h.dimGroup(dim, Node(v))
+			switch spec.Kind {
+			case KindRing:
+				chans := make([]*Ring, h.chans[dim])
+				for c := range chans {
+					chans[c] = h.makeRing(dimOf(dim), c, base, spec.Class)
+				}
+				h.rings[dim][slot] = chans
+			case KindSwitch:
+				h.buildSwitchGroup(dim, spec, base)
+			case KindFullyConnected:
+				h.buildFCGroup(dim, spec, base)
+			}
+		}
+		h.slots[dim] = seen
+	}
+}
+
+// buildSwitchGroup allocates the group's switch nodes (one per lane) and
+// the up/down links of every member, in group order.
+func (h *Hierarchical) buildSwitchGroup(dim int, spec DimSpec, base []Node) {
+	if len(base) <= 1 {
+		return // a unit group schedules no traffic and needs no switch
+	}
+	first := Node(h.NumNPUs() + h.switches)
+	h.switches += spec.Lanes
+	for _, m := range base {
+		up := make([]LinkID, spec.Lanes)
+		down := make([]LinkID, spec.Lanes)
+		for lane := 0; lane < spec.Lanes; lane++ {
+			sw := first + Node(lane)
+			up[lane] = h.addLink(m, sw, spec.Class)
+			down[lane] = h.addLink(sw, m, spec.Class)
+		}
+		h.swUp[dim][m] = up
+		h.swDown[dim][m] = down
+	}
+}
+
+// buildFCGroup adds one unidirectional link per ordered pair per lane.
+func (h *Hierarchical) buildFCGroup(dim int, spec DimSpec, base []Node) {
+	for lane := 0; lane < spec.Lanes; lane++ {
+		for _, src := range base {
+			for _, dst := range base {
+				if src == dst {
+					continue
+				}
+				h.fc[dim][fcKey{lane, src, dst}] = h.addLink(src, dst, spec.Class)
+			}
+		}
+	}
+}
+
+// Specs returns a copy of the composition's dimension specs.
+func (h *Hierarchical) Specs() []DimSpec { return append([]DimSpec(nil), h.specs...) }
+
+// Name implements Topology.
+func (h *Hierarchical) Name() string {
+	parts := make([]string, len(h.specs))
+	for i, s := range h.specs {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "+") + " hier"
+}
+
+// NumNPUs implements Topology.
+func (h *Hierarchical) NumNPUs() int {
+	n := 1
+	for _, s := range h.specs {
+		n *= s.Size
+	}
+	return n
+}
+
+// NumNodes implements Topology.
+func (h *Hierarchical) NumNodes() int { return h.NumNPUs() + h.switches }
+
+// isPow2 reports whether v is a power of two (v > 0).
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// Dims implements Topology: declaration order, local dimension first.
+func (h *Hierarchical) Dims() []DimInfo {
+	out := make([]DimInfo, len(h.specs))
+	for i, s := range h.specs {
+		out[i] = DimInfo{
+			Dim:      dimOf(i),
+			Size:     s.Size,
+			Channels: h.chans[i],
+			Direct:   s.Kind != KindRing,
+			Halving:  s.Kind == KindSwitch && s.Size > 1 && isPow2(s.Size),
+		}
+	}
+	return out
+}
+
+// dimIndex inverts dimOf.
+func (h *Hierarchical) dimIndex(d Dim) int {
+	for i := range h.specs {
+		if dimOf(i) == d {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("topology: %s has no dimension %v", h.Name(), d))
+}
+
+// Group implements Topology.
+func (h *Hierarchical) Group(d Dim, n Node) []Node {
+	return h.dimGroup(h.dimIndex(d), n)
+}
+
+// RingOf implements Topology. Panics on non-ring dimensions.
+func (h *Hierarchical) RingOf(d Dim, n Node, channel int) *Ring {
+	dim := h.dimIndex(d)
+	if h.specs[dim].Kind != KindRing {
+		panic(fmt.Sprintf("topology: dimension %v of %s is %s, not a ring", d, h.Name(), h.specs[dim].Kind))
+	}
+	slot := h.slots[dim][h.groupKey(dim, n)]
+	chans := h.rings[dim][slot]
+	return chans[channel%len(chans)]
+}
+
+// PathLinks implements Topology: ring successor hop on ring dimensions,
+// the dedicated pair link on fully-connected dimensions (lanes spread by
+// channel), and an up/down switch traversal on switch dimensions (the
+// switch is picked by tournament round plus channel, spreading a group's
+// simultaneous exchanges across lanes exactly like the global-switch
+// topology).
+func (h *Hierarchical) PathLinks(d Dim, channel int, src, dst Node) []LinkID {
+	dim := h.dimIndex(d)
+	spec := h.specs[dim]
+	switch spec.Kind {
+	case KindRing:
+		r := h.RingOf(d, src, channel)
+		if next := r.Next(src); next != dst {
+			panic(fmt.Sprintf("topology: %d is not %d's successor on %v ring %d", dst, src, d, channel))
+		}
+		return []LinkID{r.LinkFrom(src)}
+	case KindFullyConnected:
+		lane := channel % spec.Lanes
+		id, ok := h.fc[dim][fcKey{lane, src, dst}]
+		if !ok {
+			panic(fmt.Sprintf("topology: no %v link %d->%d (lane %d) in %s", d, src, dst, lane, h.Name()))
+		}
+		return []LinkID{id}
+	default: // KindSwitch
+		g := h.dimGroup(dim, src)
+		si, di := -1, -1
+		for i, m := range g {
+			if m == src {
+				si = i
+			}
+			if m == dst {
+				di = i
+			}
+		}
+		if si < 0 || di < 0 || si == di {
+			panic(fmt.Sprintf("topology: %d and %d do not share %v group in %s", src, dst, d, h.Name()))
+		}
+		lane := (matchRound(si, di, len(g)) + channel) % spec.Lanes
+		return []LinkID{h.swUp[dim][src][lane], h.swDown[dim][dst][lane]}
+	}
+}
+
+// Links implements Topology.
+func (h *Hierarchical) Links() []LinkSpec { return h.links }
+
+var _ Topology = (*Hierarchical)(nil)

@@ -198,6 +198,12 @@ type DimInfo struct {
 	// Direct is true when the dimension is all-to-all connected (single
 	// step reaches any peer) rather than a ring.
 	Direct bool
+	// Halving is true when the dimension prefers recursive
+	// halving-doubling schedules for reduce-scatter/all-gather/all-reduce
+	// (power-of-two switch dimensions of the Hierarchical builder).
+	// Halving implies Direct: any pair of group members is reachable in
+	// one step, which is what the XOR-partner exchange requires.
+	Halving bool
 }
 
 // Topology is a logical hierarchical topology plus the physical links

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"astrasim/internal/collectives"
+	"astrasim/internal/compute"
 	"astrasim/internal/topology"
 )
 
@@ -115,6 +116,11 @@ type Layer struct {
 	// communicated data to process/reduce it after the collective
 	// finishes (Fig. 8's "Local Update Time").
 	UpdatePerKB uint64
+	// Placement says where the layer's tensors live relative to the
+	// disaggregated remote-memory tier; local (the zero value) for all
+	// layers of an existing workload file. Serialized as an optional
+	// second token on the update-time line.
+	Placement compute.Placement
 }
 
 // UpdateCycles returns the local update delay for a completed collective
@@ -280,8 +286,21 @@ func Parse(name string, r io.Reader) (Definition, error) {
 		if err != nil {
 			return fail(err, fmt.Sprintf("layer %d update time", i))
 		}
-		if _, err = fmt.Sscan(line, &l.UpdatePerKB); err != nil {
+		// The update-time line is "<cycles per KB> [placement]"; the
+		// optional second token places the layer's tensors on the
+		// remote-memory tier.
+		fields = strings.Fields(line)
+		if len(fields) < 1 || len(fields) > 2 {
+			return fail(fmt.Errorf("want \"<update per KB> [placement]\", got %q", line),
+				fmt.Sprintf("layer %d update time", i))
+		}
+		if l.UpdatePerKB, err = strconv.ParseUint(fields[0], 10, 64); err != nil {
 			return fail(err, fmt.Sprintf("layer %d update time %q", i, line))
+		}
+		if len(fields) == 2 {
+			if l.Placement, err = compute.ParsePlacement(fields[1]); err != nil {
+				return fail(err, fmt.Sprintf("layer %d tensor placement", i))
+			}
 		}
 		d.Layers = append(d.Layers, l)
 	}
@@ -296,12 +315,16 @@ func Write(w io.Writer, d Definition) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# %s\n%s\n%d\n", d.Name, d.Parallelism, len(d.Layers))
 	for _, l := range d.Layers {
-		fmt.Fprintf(bw, "%s\n%d %d %d\n%s %s %s\n%d %d %d\n%d\n",
+		placement := ""
+		if l.Placement != compute.PlaceLocal {
+			placement = " " + l.Placement.String()
+		}
+		fmt.Fprintf(bw, "%s\n%d %d %d\n%s %s %s\n%d %d %d\n%d%s\n",
 			l.Name,
 			l.FwdCompute, l.IGCompute, l.WGCompute,
 			commToken(l.FwdComm, l.FwdScope), commToken(l.IGComm, l.IGScope), commToken(l.WGComm, l.WGScope),
 			l.FwdBytes, l.IGBytes, l.WGBytes,
-			l.UpdatePerKB)
+			l.UpdatePerKB, placement)
 	}
 	return bw.Flush()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"astrasim/internal/collectives"
+	"astrasim/internal/compute"
 	"astrasim/internal/eventq"
 	"astrasim/internal/system"
 )
@@ -212,7 +213,14 @@ func (t *Trainer) issue(l int, op collectives.Op, scope Scope, bytes int64, tag 
 	}, func(h *system.Handle) {
 		*raw += uint64(h.Duration())
 		pc.done = true
-		pc.readyAt = t.eng.Now() + eventq.Time(layer.UpdateCycles(bytes))
+		// The local update streams the communicated tensor; layers placed
+		// on the remote-memory tier pay the pool stall on top.
+		remote := compute.RemoteMemory{
+			Bandwidth: t.inst.Sys.Cfg.RemoteMemBandwidth,
+			Latency:   t.inst.Sys.Cfg.RemoteMemLatency,
+		}
+		update := layer.UpdateCycles(bytes) + remote.StallCycles(bytes, layer.Placement)
+		pc.readyAt = t.eng.Now() + eventq.Time(update)
 		if pc.waiter != nil {
 			k := pc.waiter
 			pc.waiter = nil
