@@ -38,6 +38,7 @@ import (
 	"astrasim/internal/energy"
 	"astrasim/internal/faults"
 	"astrasim/internal/graph"
+	"astrasim/internal/modelgen"
 	"astrasim/internal/models"
 	"astrasim/internal/system"
 	"astrasim/internal/topology"
@@ -708,6 +709,52 @@ func CompileGraph(def Definition, passes int) (*WorkloadGraph, error) {
 // pairs.
 func Pipeline1F1BGraph(def Definition, cfg PipelineConfig, passes int) (*WorkloadGraph, error) {
 	return graph.Pipeline1F1B(def, cfg, passes)
+}
+
+// ModelSpec is a versioned JSON model description — an explicit layer
+// stack or a transformer shorthand expanded analytically (DESIGN.md
+// §15). Build one with LoadModelSpec/ParseModelSpec.
+type ModelSpec = modelgen.Spec
+
+// TransformerSpec is ModelSpec's transformer shorthand: layer count,
+// hidden width, heads, sequence length, vocab, and optional MoE routing.
+type TransformerSpec = modelgen.TransformerSpec
+
+// MoESpec routes every k-th transformer MLP through a pool of experts.
+type MoESpec = modelgen.MoESpec
+
+// ModelLayerSpec is one layer of a ModelSpec's explicit layer stack.
+type ModelLayerSpec = modelgen.LayerSpec
+
+// ParallelismPlan is a versioned JSON parallelism strategy: dp/tp/pp/ep
+// degrees, ZeRO stage, microbatch count, interleaving factor, and the
+// scope/placement knobs that map the strategy onto a platform.
+type ParallelismPlan = modelgen.Plan
+
+// LoadModelSpec reads and validates a model spec from a file.
+func LoadModelSpec(path string) (*ModelSpec, error) { return modelgen.LoadSpec(path) }
+
+// ParseModelSpec reads and validates a model spec.
+func ParseModelSpec(name string, r io.Reader) (*ModelSpec, error) {
+	return modelgen.ParseSpec(name, r)
+}
+
+// LoadPlan reads and validates a parallelism plan from a file.
+func LoadPlan(path string) (*ParallelismPlan, error) { return modelgen.LoadPlan(path) }
+
+// ParsePlan reads and validates a parallelism plan.
+func ParsePlan(name string, r io.Reader) (*ParallelismPlan, error) {
+	return modelgen.ParsePlan(name, r)
+}
+
+// CompileModel lowers a model spec under a parallelism plan into an
+// execution graph unrolled over steps training steps (0 = one step):
+// ZeRO-sharded data parallelism, tensor-parallel all-reduces,
+// (interleaved) 1F1B pipeline schedules, and MoE all-to-alls, with the
+// generated communication volume matching modelgen's closed-form
+// oracle exactly. Replay the result with RunGraph.
+func CompileModel(spec *ModelSpec, plan *ParallelismPlan, steps int) (*WorkloadGraph, error) {
+	return modelgen.Compile(spec, plan, modelgen.Options{Steps: steps})
 }
 
 // RunGraph replays an execution graph over the platform and folds

@@ -319,3 +319,61 @@ func BenchmarkGraphReplayPipeline(b *testing.B) {
 		run()
 	}
 }
+
+// modelgenBenchPair is the fixture BenchmarkModelgenCompile and
+// BenchmarkModelReplay share: a moe-lm-sized transformer under a 3D
+// hybrid plan, the heaviest committed-example shape.
+func modelgenBenchPair() (*astrasim.ModelSpec, *astrasim.ParallelismPlan) {
+	spec := &astrasim.ModelSpec{
+		Version: 1, Name: "bench-lm", Batch: 16, DTypeBytes: 2,
+		Transformer: &astrasim.TransformerSpec{
+			Layers: 8, Hidden: 256, Heads: 8, Seq: 128, Vocab: 4096,
+		},
+	}
+	plan := &astrasim.ParallelismPlan{
+		Version: 1, Name: "bench-zero3", DP: 2, TP: 2, PP: 2,
+		ZeROStage: 3, Microbatches: 4,
+	}
+	return spec, plan
+}
+
+// BenchmarkModelgenCompile measures spec+plan -> graph compilation
+// alone: the cost a sweep pays per configuration before any simulation.
+func BenchmarkModelgenCompile(b *testing.B) {
+	b.ReportAllocs()
+	spec, plan := modelgenBenchPair()
+	if _, err := astrasim.CompileModel(spec, plan, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := astrasim.CompileModel(spec, plan, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelReplay replays one compiled training step on the packet
+// backend: compile once, simulate per iteration.
+func BenchmarkModelReplay(b *testing.B) {
+	b.ReportAllocs()
+	spec, plan := modelgenBenchPair()
+	g, err := astrasim.CompileModel(spec, plan, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() {
+		p, err := astrasim.NewTorusPlatform(2, 2, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.RunGraph(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm up one-time allocations so allocs/op is stable at any -benchtime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}

@@ -15,6 +15,7 @@
 //	astrasim -workload resnet50 -faults examples/faults/lossy.json
 //	astrasim -graph workloads/microbench.graph.json -topology 2x2x2
 //	astrasim -workload dlrm -graph-dump dlrm.graph.json
+//	astrasim -model workloads/models/tinylm.model.json -plan workloads/models/zero3_tp2_pp2.plan.json -topology hier:sw4,fc4,ring4
 //
 // -faults applies a JSON fault plan (degraded links, outages, stragglers,
 // packet drops with retransmit; see DESIGN.md §8) to the training run and
@@ -23,6 +24,12 @@
 // -graph replays an execution-trace DAG (JSON, DESIGN.md §10) through the
 // dependency-driven graph engine instead of the layer-wise training loop;
 // -graph-dump compiles the selected -workload into that format and exits.
+//
+// -model spec.json -plan plan.json compiles a versioned model spec under
+// a parallelism plan (dp/tp/pp/ep degrees, ZeRO stage, microbatches,
+// interleaving factor; DESIGN.md §15) into an execution graph unrolled
+// over -num-passes training steps and replays it — or writes the graph
+// out when combined with -graph-dump.
 // -audit attaches the invariant auditor to the run and fails loudly on
 // any conservation or quiescence violation.
 //
@@ -48,6 +55,7 @@ import (
 	"astrasim/internal/config"
 	"astrasim/internal/faults"
 	"astrasim/internal/graph"
+	"astrasim/internal/modelgen"
 	"astrasim/internal/models"
 	"astrasim/internal/report"
 	"astrasim/internal/system"
@@ -77,6 +85,8 @@ func main() {
 	faultsFlag := flag.String("faults", "", "JSON fault plan for the run (see DESIGN.md §8)")
 	traceOut := flag.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) of the run to this file")
 	graphFlag := flag.String("graph", "", "replay this execution graph (JSON, DESIGN.md §10) instead of the training loop")
+	modelFlag := flag.String("model", "", "model spec (JSON, DESIGN.md §15) to compile with -plan instead of -workload")
+	planFlag := flag.String("plan", "", "parallelism plan (JSON, DESIGN.md §15) for -model")
 	graphDump := flag.String("graph-dump", "", "compile the selected -workload into an execution graph, write it here, and exit")
 	auditFlag := flag.Bool("audit", false, "attach the invariant auditor and fail on any violation")
 	backendFlag := flag.String("backend", "packet", "network backend: packet (congestion-aware) or fast (congestion-unaware analytical)")
@@ -95,16 +105,41 @@ func main() {
 		fatal(fmt.Errorf("-faults and -intra-parallel are mutually exclusive; fault injection needs the serial engine"))
 	}
 
+	if (*modelFlag == "") != (*planFlag == "") {
+		fatal(fmt.Errorf("-model and -plan must be given together"))
+	}
+	if *modelFlag != "" && *graphFlag != "" {
+		fatal(fmt.Errorf("-model and -graph are mutually exclusive"))
+	}
+	var modelGraph *graph.Graph
+	if *modelFlag != "" {
+		spec, err := modelgen.LoadSpec(*modelFlag)
+		if err != nil {
+			fatal(err)
+		}
+		mplan, err := modelgen.LoadPlan(*planFlag)
+		if err != nil {
+			fatal(err)
+		}
+		cm := compute.Default()
+		cm.Scale = *computeScale
+		if modelGraph, err = modelgen.Compile(spec, mplan, modelgen.Options{Steps: *passes, Compute: &cm}); err != nil {
+			fatal(err)
+		}
+	}
+
 	var def workload.Definition
-	if *graphFlag == "" || *graphDump != "" {
+	if *modelFlag == "" && (*graphFlag == "" || *graphDump != "") {
 		if def, err = loadWorkload(*wl, *batch, *seqLen, *computeScale); err != nil {
 			fatal(err)
 		}
 	}
 	if *graphDump != "" {
-		g, err := graph.FromDefinition(def, *passes)
-		if err != nil {
-			fatal(err)
+		g := modelGraph
+		if g == nil {
+			if g, err = graph.FromDefinition(def, *passes); err != nil {
+				fatal(err)
+			}
 		}
 		fh, err := os.Create(*graphDump)
 		if err != nil {
@@ -192,7 +227,12 @@ func main() {
 	}
 	var res workload.Result
 	var runName string
-	if *graphFlag != "" {
+	if modelGraph != nil {
+		runName = fmt.Sprintf("model %s (%d nodes)", modelGraph.Name, len(modelGraph.Nodes))
+		if res, err = graph.Run(inst, modelGraph); err != nil {
+			fatal(err)
+		}
+	} else if *graphFlag != "" {
 		g, err := graph.Load(*graphFlag)
 		if err != nil {
 			fatal(err)

@@ -299,6 +299,7 @@ func Extensions() []Figure {
 		{"extintrapar", "Intra-run parallel DES: determinism and event collapse", ExtIntraPar},
 		{"exthier", "Compositional hierarchical topologies", ExtHier},
 		{"extmem", "Disaggregated remote-memory tier", ExtMem},
+		{"extparallel", "Modern parallelism: ZeRO stage x tp/pp layout grid", ExtParallel},
 	}
 }
 

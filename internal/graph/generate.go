@@ -77,57 +77,36 @@ func Pipeline1F1B(def workload.Definition, cfg workload.PipelineConfig, passes i
 				)
 			}
 		}
-		// Per-stage static 1F1B job order, serialized by chain edges.
+		// Per-stage static 1F1B job order (from the shared schedule
+		// emitter), serialized by chain edges.
+		schedule, err := Schedule1F1B(S, M, 1)
+		if err != nil {
+			return nil, err
+		}
 		for s := 0; s < S; s++ {
-			warmup := S - 1 - s
-			if warmup > M {
-				warmup = M
-			}
-			type job struct {
-				id       string
-				cycles   uint64
-				pass     string
-				extraDep string
-			}
-			var jobs []job
-			addF := func(m int) {
-				j := job{id: fid(p, s, m), cycles: fwd[s], pass: "fwd"}
-				if s > 0 {
-					j.extraDep = fmt.Sprintf("p%d/s%d<s%d/act%d", p, s, s-1, m)
-				}
-				jobs = append(jobs, j)
-			}
-			addB := func(m int) {
-				j := job{id: bid(p, s, m), cycles: bwd[s], pass: "wg"}
-				if s < S-1 {
-					j.extraDep = fmt.Sprintf("p%d/s%d<s%d/grad%d", p, s, s+1, m)
-				}
-				jobs = append(jobs, j)
-			}
-			for m := 0; m < warmup; m++ {
-				addF(m)
-			}
-			for m := warmup; m < M; m++ {
-				addF(m)
-				addB(m - warmup)
-			}
-			for m := M - warmup; m < M; m++ {
-				addB(m)
-			}
 			prev := lastJob[s]
-			for _, j := range jobs {
+			for _, j := range schedule[s] {
+				id, cycles, pass, extraDep := bid(p, s, j.Microbatch), bwd[s], "wg", ""
+				if j.Forward {
+					id, cycles, pass = fid(p, s, j.Microbatch), fwd[s], "fwd"
+					if s > 0 {
+						extraDep = fmt.Sprintf("p%d/s%d<s%d/act%d", p, s, s-1, j.Microbatch)
+					}
+				} else if s < S-1 {
+					extraDep = fmt.Sprintf("p%d/s%d<s%d/grad%d", p, s, s+1, j.Microbatch)
+				}
 				var deps []string
 				if prev != "" {
 					deps = append(deps, prev)
 				}
-				if j.extraDep != "" {
-					deps = append(deps, j.extraDep)
+				if extraDep != "" {
+					deps = append(deps, extraDep)
 				}
 				g.Nodes = append(g.Nodes, Node{
-					ID: j.id, Kind: KindComp, Cycles: j.cycles,
-					Layer: stage(s), Pass: j.pass, Replica: s, Deps: deps,
+					ID: id, Kind: KindComp, Cycles: cycles,
+					Layer: stage(s), Pass: pass, Replica: s, Deps: deps,
 				})
-				prev = j.id
+				prev = id
 			}
 			lastJob[s] = prev
 		}

@@ -1,0 +1,105 @@
+package graph
+
+import "fmt"
+
+// PipeJob is one slot of a per-stage pipeline schedule: run the forward
+// (or backward) pass of one microbatch through one model chunk. Chunk is
+// always 0 in the classic non-interleaved schedule; with interleaving
+// each stage hosts several chunks (Megatron-LM "virtual pipeline
+// stages") and the chunk index selects which one this slot advances.
+type PipeJob struct {
+	Chunk      int
+	Microbatch int
+	Forward    bool
+}
+
+// Schedule1F1B returns the static per-stage job order of the 1F1B
+// pipeline schedule (PipeDream-Flush) for S stages, M microbatches and
+// v chunks per stage. out[s] lists stage s's jobs in issue order.
+//
+// With chunks == 1 this is the classic schedule used by Pipeline1F1B
+// and workload.RunPipeline: stage s runs min(S-1-s, M) warm-up
+// forwards, then alternates one-forward-one-backward, then drains the
+// remaining backwards.
+//
+// With chunks > 1 it is the interleaved schedule of Megatron-LM
+// (Narayanan et al., SC'21): stage s's warm-up lengthens to
+// min((S-1-s)*2 + (chunks-1)*S, M*chunks), and the k-th forward slot
+// advances chunk (k mod S*v)/S with microbatch (k div S*v)*S + k mod S;
+// backward slots mirror the chunk order. Interleaving requires M to be
+// a multiple of S (the schedule's unit of work is an S-microbatch
+// group).
+//
+// The emitter produces job orders only; callers attach compute costs,
+// per-chunk collectives and cross-stage SEND/RECV edges. Both
+// Pipeline1F1B and modelgen's interleaved generator are built on this
+// one implementation, so the two cannot drift.
+func Schedule1F1B(stages, microbatches, chunks int) ([][]PipeJob, error) {
+	S, M, v := stages, microbatches, chunks
+	if S <= 0 {
+		return nil, fmt.Errorf("graph: schedule needs at least 1 stage, got %d", S)
+	}
+	if M <= 0 {
+		return nil, fmt.Errorf("graph: schedule needs at least 1 microbatch, got %d", M)
+	}
+	if v <= 0 {
+		return nil, fmt.Errorf("graph: schedule needs at least 1 chunk per stage, got %d", v)
+	}
+	if v > 1 && M%S != 0 {
+		return nil, fmt.Errorf("graph: interleaved schedule needs microbatches %% stages == 0, got %d %% %d", M, S)
+	}
+	out := make([][]PipeJob, S)
+	for s := 0; s < S; s++ {
+		if v == 1 {
+			warmup := S - 1 - s
+			if warmup > M {
+				warmup = M
+			}
+			jobs := make([]PipeJob, 0, 2*M)
+			for m := 0; m < warmup; m++ {
+				jobs = append(jobs, PipeJob{Microbatch: m, Forward: true})
+			}
+			for m := warmup; m < M; m++ {
+				jobs = append(jobs,
+					PipeJob{Microbatch: m, Forward: true},
+					PipeJob{Microbatch: m - warmup})
+			}
+			for m := M - warmup; m < M; m++ {
+				jobs = append(jobs, PipeJob{Microbatch: m})
+			}
+			out[s] = jobs
+			continue
+		}
+		total := M * v
+		warmup := (S-1-s)*2 + (v-1)*S
+		if warmup > total {
+			warmup = total
+		}
+		group := S * v
+		fwdJob := func(k int) PipeJob {
+			return PipeJob{
+				Chunk:      (k % group) / S,
+				Microbatch: (k/group)*S + k%S,
+				Forward:    true,
+			}
+		}
+		bwdJob := func(k int) PipeJob {
+			return PipeJob{
+				Chunk:      v - 1 - (k%group)/S,
+				Microbatch: (k/group)*S + k%S,
+			}
+		}
+		jobs := make([]PipeJob, 0, 2*total)
+		for k := 0; k < warmup; k++ {
+			jobs = append(jobs, fwdJob(k))
+		}
+		for k := warmup; k < total; k++ {
+			jobs = append(jobs, fwdJob(k), bwdJob(k-warmup))
+		}
+		for k := total - warmup; k < total; k++ {
+			jobs = append(jobs, bwdJob(k))
+		}
+		out[s] = jobs
+	}
+	return out, nil
+}

@@ -1,0 +1,490 @@
+package modelgen
+
+import (
+	"fmt"
+	"math"
+
+	"astrasim/internal/collectives"
+	"astrasim/internal/compute"
+	"astrasim/internal/graph"
+)
+
+// Options tune a compilation.
+type Options struct {
+	// Steps is how many training steps the graph unrolls (default 1).
+	// Steps chain: a step's first use of a layer waits for the previous
+	// step's gradient collective of that layer.
+	Steps int
+	// Compute resolves flop counts to cycles (default compute.Default).
+	Compute *compute.Model
+}
+
+// Compile deterministically lowers a model spec under a parallelism
+// plan into a graph v1 execution trace. Pipeline stage s maps to graph
+// replica lane s and NPU s; the dp/tp/ep collectives carry the plan's
+// dimension scopes. The emitted communication volume per training step
+// matches PlanVolumes exactly (asserted with zero tolerance in the
+// package tests).
+func Compile(spec *Spec, plan *Plan, opt Options) (*graph.Graph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	sh, err := newShape(spec, plan)
+	if err != nil {
+		return nil, err
+	}
+	steps := opt.Steps
+	if steps == 0 {
+		steps = 1
+	}
+	if steps < 0 {
+		return nil, fmt.Errorf("modelgen: steps must be positive, got %d", steps)
+	}
+	model := compute.Default()
+	if opt.Compute != nil {
+		model = *opt.Compute
+	}
+
+	S, M, v := sh.S, sh.M, sh.v
+	sched, err := graph.Schedule1F1B(S, M, v)
+	if err != nil {
+		return nil, fmt.Errorf("modelgen: plan %s: %w", plan.label(), err)
+	}
+
+	g := &graph.Graph{
+		Version: graph.FormatVersion,
+		Name: fmt.Sprintf("%s x %s (dp%d tp%d pp%d ep%d zero%d mb%d v%d)",
+			spec.Name, plan.Name, sh.dp, sh.tp, S, sh.ep, sh.zero, M, v),
+		Passes: steps,
+	}
+
+	// lastJob[s] chains one step's stage-s schedule onto the next;
+	// prevGrad[layer] carries each layer's last gradient-collective
+	// node across steps.
+	lastJob := make([]string, S)
+	prevGrad := make(map[string]string, len(sh.layers))
+	for t := 0; t < steps; t++ {
+		agF := func(name string) string { return fmt.Sprintf("t%d/ag/f/%s", t, name) }
+		agB := func(name string) string { return fmt.Sprintf("t%d/ag/b/%s", t, name) }
+		compF := func(m int, name string) string { return fmt.Sprintf("t%d/f/m%d/%s", t, m, name) }
+		compB := func(m int, name string) string { return fmt.Sprintf("t%d/b/m%d/%s", t, m, name) }
+
+		// ZeRO-3 parameter all-gathers: once per layer per step for the
+		// forward and again for the backward, prefetchable from cycle 0
+		// (step 0) or from the previous step's gradient reduce-scatter.
+		if sh.zero == 3 {
+			for li, l := range sh.layers {
+				if l.ParamBytes <= 0 {
+					continue
+				}
+				var deps []string
+				if p := prevGrad[l.Name]; p != "" {
+					deps = []string{p}
+				}
+				for _, n := range []struct{ id, pass string }{
+					{agF(l.Name), "fwd"}, {agB(l.Name), "ig"},
+				} {
+					g.Nodes = append(g.Nodes, graph.Node{
+						ID: n.id, Kind: graph.KindComm, Deps: deps,
+						Layer: l.Name, Pass: n.pass, Replica: sh.stageOf(li),
+						Op: collectives.AllGather.String(), Scope: plan.DPScope,
+						Bytes: padded(sh.ptp(l), sh.dp), Tag: "zero",
+						Placement: plan.OptimizerPlacement,
+					})
+				}
+			}
+		}
+
+		// Cross-stage SEND/RECV pairs for every virtual-boundary
+		// crossing: activations forward, gradients backward.
+		for j := 0; j < sh.V-1; j++ {
+			src, dst := j%S, (j+1)%S
+			bytes := sh.actMB(sh.layers[sh.end(j)-1])
+			for m := 0; m < M; m++ {
+				sendAct := fmt.Sprintf("t%d/v%d>v%d/act%d", t, j, j+1, m)
+				recvAct := fmt.Sprintf("t%d/v%d<v%d/act%d", t, j+1, j, m)
+				sendGrad := fmt.Sprintf("t%d/v%d>v%d/grad%d", t, j+1, j, m)
+				recvGrad := fmt.Sprintf("t%d/v%d<v%d/grad%d", t, j, j+1, m)
+				g.Nodes = append(g.Nodes,
+					graph.Node{ID: sendAct, Kind: graph.KindSend, Peer: recvAct,
+						Src: src, Dst: dst, Bytes: bytes,
+						Deps:  []string{sh.lastFwdNode(t, j, m)},
+						Layer: stageName(src), Pass: "fwd", Replica: src},
+					graph.Node{ID: recvAct, Kind: graph.KindRecv, Peer: sendAct,
+						Layer: stageName(dst), Pass: "fwd", Replica: dst},
+					graph.Node{ID: sendGrad, Kind: graph.KindSend, Peer: recvGrad,
+						Src: dst, Dst: src, Bytes: bytes,
+						Deps:  []string{sh.lastBwdNode(t, j+1, m)},
+						Layer: stageName(dst), Pass: "ig", Replica: dst},
+					graph.Node{ID: recvGrad, Kind: graph.KindRecv, Peer: sendGrad,
+						Layer: stageName(src), Pass: "ig", Replica: src},
+				)
+			}
+		}
+
+		// Per-stage 1F1B walks from the shared schedule emitter.
+		lastBwdComp := make(map[string]string, len(sh.layers))
+		firstFwd := make(map[string]bool, len(sh.layers))
+		for s := 0; s < S; s++ {
+			cur := lastJob[s]
+			emit := func(n graph.Node, extra ...string) {
+				var deps []string
+				if cur != "" {
+					deps = append(deps, cur)
+				}
+				for _, d := range extra {
+					if d != "" {
+						deps = append(deps, d)
+					}
+				}
+				n.Deps = deps
+				n.Replica = s
+				g.Nodes = append(g.Nodes, n)
+				cur = n.ID
+			}
+			for _, job := range sched[s] {
+				j := job.Chunk*S + s
+				m := job.Microbatch
+				recv := ""
+				if job.Forward {
+					if j > 0 {
+						recv = fmt.Sprintf("t%d/v%d<v%d/act%d", t, j, j-1, m)
+					}
+					for li := sh.start(j); li < sh.end(j); li++ {
+						l := sh.layers[li]
+						if sh.isMoE(l) {
+							emit(graph.Node{
+								ID: compF(m, l.Name) + "/disp", Kind: graph.KindComm,
+								Layer: l.Name, Pass: "fwd",
+								Op: collectives.AllToAll.String(), Scope: plan.EPScope,
+								Bytes: sh.capBytes(l), Tag: "ep",
+							}, recv)
+							recv = ""
+						}
+						var extra []string
+						if recv != "" {
+							extra = append(extra, recv)
+							recv = ""
+						}
+						if sh.zero == 3 && l.ParamBytes > 0 {
+							extra = append(extra, agF(l.Name))
+						} else if !firstFwd[l.Name] {
+							extra = append(extra, prevGrad[l.Name])
+						}
+						firstFwd[l.Name] = true
+						emit(graph.Node{
+							ID: compF(m, l.Name), Kind: graph.KindComp,
+							Layer: l.Name, Pass: "fwd", Cycles: sh.fwdCycles(model, l),
+						}, extra...)
+						if sh.isMoE(l) {
+							emit(graph.Node{
+								ID: compF(m, l.Name) + "/comb", Kind: graph.KindComm,
+								Layer: l.Name, Pass: "fwd",
+								Op: collectives.AllToAll.String(), Scope: plan.EPScope,
+								Bytes: sh.capBytes(l), Tag: "ep",
+							})
+						}
+						if sh.tp > 1 && l.ActBytes > 0 {
+							emit(graph.Node{
+								ID: compF(m, l.Name) + "/tp", Kind: graph.KindComm,
+								Layer: l.Name, Pass: "fwd",
+								Op: collectives.AllReduce.String(), Scope: plan.TPScope,
+								Bytes: sh.actMB(l), Tag: "tp",
+							})
+						}
+					}
+					lastJob[s] = cur
+					continue
+				}
+				if j < sh.V-1 {
+					recv = fmt.Sprintf("t%d/v%d<v%d/grad%d", t, j, j+1, m)
+				}
+				for li := sh.end(j) - 1; li >= sh.start(j); li-- {
+					l := sh.layers[li]
+					if sh.isMoE(l) {
+						emit(graph.Node{
+							ID: compB(m, l.Name) + "/comb", Kind: graph.KindComm,
+							Layer: l.Name, Pass: "ig",
+							Op: collectives.AllToAll.String(), Scope: plan.EPScope,
+							Bytes: sh.capBytes(l), Tag: "ep",
+						}, recv)
+						recv = ""
+					}
+					var extra []string
+					if recv != "" {
+						extra = append(extra, recv)
+						recv = ""
+					}
+					if sh.zero == 3 && l.ParamBytes > 0 {
+						extra = append(extra, agB(l.Name))
+					}
+					emit(graph.Node{
+						ID: compB(m, l.Name), Kind: graph.KindComp,
+						Layer: l.Name, Pass: "wg", Cycles: sh.bwdCycles(model, l),
+					}, extra...)
+					lastBwdComp[l.Name] = compB(m, l.Name)
+					if sh.isMoE(l) {
+						emit(graph.Node{
+							ID: compB(m, l.Name) + "/disp", Kind: graph.KindComm,
+							Layer: l.Name, Pass: "ig",
+							Op: collectives.AllToAll.String(), Scope: plan.EPScope,
+							Bytes: sh.capBytes(l), Tag: "ep",
+						})
+					}
+					if sh.tp > 1 && l.ActBytes > 0 {
+						emit(graph.Node{
+							ID: compB(m, l.Name) + "/tp", Kind: graph.KindComm,
+							Layer: l.Name, Pass: "ig",
+							Op: collectives.AllReduce.String(), Scope: plan.TPScope,
+							Bytes: sh.actMB(l), Tag: "tp",
+						})
+					}
+				}
+				lastJob[s] = cur
+			}
+		}
+
+		// Gradient synchronization across the data-parallel group, after
+		// each layer's last-scheduled backward: a plain all-reduce at
+		// ZeRO stage 0, a padded reduce-scatter plus parameter
+		// all-gather at stages 1-2, a reduce-scatter alone at stage 3
+		// (the next step's all-gathers re-materialize parameters).
+		if sh.dp > 1 {
+			for li, l := range sh.layers {
+				if l.ParamBytes <= 0 {
+					continue
+				}
+				rep := sh.stageOf(li)
+				deps := []string{lastBwdComp[l.Name]}
+				switch sh.zero {
+				case 0:
+					id := fmt.Sprintf("t%d/ar/%s", t, l.Name)
+					g.Nodes = append(g.Nodes, graph.Node{
+						ID: id, Kind: graph.KindComm, Deps: deps,
+						Layer: l.Name, Pass: "wg", Replica: rep,
+						Op: collectives.AllReduce.String(), Scope: plan.DPScope,
+						Bytes: sh.ptp(l), Tag: "zero",
+						UpdatePerKB: plan.UpdatePerKB, Placement: plan.OptimizerPlacement,
+					})
+					prevGrad[l.Name] = id
+				case 1, 2:
+					rs := fmt.Sprintf("t%d/rs/%s", t, l.Name)
+					ag := fmt.Sprintf("t%d/agp/%s", t, l.Name)
+					g.Nodes = append(g.Nodes, graph.Node{
+						ID: rs, Kind: graph.KindComm, Deps: deps,
+						Layer: l.Name, Pass: "wg", Replica: rep,
+						Op: collectives.ReduceScatter.String(), Scope: plan.DPScope,
+						Bytes: padded(sh.ptp(l), sh.dp), Tag: "zero",
+						UpdatePerKB: plan.UpdatePerKB, Placement: plan.OptimizerPlacement,
+					}, graph.Node{
+						ID: ag, Kind: graph.KindComm, Deps: []string{rs},
+						Layer: l.Name, Pass: "wg", Replica: rep,
+						Op: collectives.AllGather.String(), Scope: plan.DPScope,
+						Bytes: padded(sh.ptp(l), sh.dp), Tag: "zero",
+						Placement: plan.OptimizerPlacement,
+					})
+					prevGrad[l.Name] = ag
+				case 3:
+					id := fmt.Sprintf("t%d/rs/%s", t, l.Name)
+					g.Nodes = append(g.Nodes, graph.Node{
+						ID: id, Kind: graph.KindComm, Deps: deps,
+						Layer: l.Name, Pass: "wg", Replica: rep,
+						Op: collectives.ReduceScatter.String(), Scope: plan.DPScope,
+						Bytes: padded(sh.ptp(l), sh.dp), Tag: "zero",
+						UpdatePerKB: plan.UpdatePerKB, Placement: plan.OptimizerPlacement,
+					})
+					prevGrad[l.Name] = id
+				}
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("modelgen: generated DAG for %s x %s is invalid (generator bug): %w",
+			spec.Name, plan.Name, err)
+	}
+	return g, nil
+}
+
+func stageName(s int) string { return fmt.Sprintf("stage%d", s) }
+
+// shape is the resolved geometry shared by the compiler and the volume
+// oracle: the layer stack, the degrees with defaults applied, and the
+// contiguous layer-to-virtual-stage partition.
+type shape struct {
+	layers           []layerInfo
+	mbSize           int
+	dp, tp, ep, zero int
+	S, M, v, V       int
+	cf               float64
+	dtype            int64
+	bounds           []int // len V+1; virtual stage j owns [bounds[j], bounds[j+1])
+}
+
+func newShape(spec *Spec, plan *Plan) (*shape, error) {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("modelgen: plan %s x model %s: %s",
+			plan.label(), spec.label(), fmt.Sprintf(format, args...))
+	}
+	sh := &shape{
+		layers: spec.expand(),
+		dp:     plan.dp(), tp: plan.tp(), ep: plan.ep(), zero: plan.ZeROStage,
+		S: plan.pp(), M: plan.microbatches(), v: plan.interleave(),
+		cf: plan.capacity(), dtype: spec.dtype(),
+	}
+	sh.V = sh.S * sh.v
+	if spec.Batch%sh.M != 0 {
+		return nil, bad("microbatches (%d) must divide batch (%d)", sh.M, spec.Batch)
+	}
+	sh.mbSize = spec.Batch / sh.M
+	L := len(sh.layers)
+	if L < sh.V {
+		return nil, bad("pp (%d) x interleave (%d) = %d virtual stages exceed the model's %d layers",
+			sh.S, sh.v, sh.V, L)
+	}
+	sh.bounds = make([]int, sh.V+1)
+	for j := 0; j <= sh.V; j++ {
+		sh.bounds[j] = j * L / sh.V
+	}
+	for j := 0; j < sh.V-1; j++ {
+		if l := sh.layers[sh.end(j)-1]; l.ActBytes <= 0 {
+			return nil, bad("pipeline boundary layer %s needs positive act_bytes", l.Name)
+		}
+	}
+	experts := 0
+	for i, l := range sh.layers {
+		if l.Experts == 0 {
+			continue
+		}
+		experts = l.Experts
+		if sh.ep > 1 && l.Experts%sh.ep != 0 {
+			return nil, bad("ep (%d) must divide layer %s's experts (%d)", sh.ep, sh.layers[i].Name, l.Experts)
+		}
+		if n := len(plan.ExpertPermutation); n > 0 && n != l.Experts {
+			return nil, bad("expert_permutation length (%d) must match layer %s's experts (%d)",
+				n, l.Name, l.Experts)
+		}
+		if sh.ep > 1 && sh.capBytes(l) <= 0 {
+			return nil, bad("capacity_factor (%g) rounds layer %s's dispatch payload to zero bytes",
+				sh.cf, l.Name)
+		}
+	}
+	if sh.ep > 1 && experts == 0 {
+		return nil, bad("ep (%d) needs an expert-routed model layer", sh.ep)
+	}
+	return sh, nil
+}
+
+func (sh *shape) start(j int) int { return sh.bounds[j] }
+func (sh *shape) end(j int) int   { return sh.bounds[j+1] }
+
+// stageOf maps layer index li to its hosting pipeline stage.
+func (sh *shape) stageOf(li int) int {
+	for j := 0; j < sh.V; j++ {
+		if li < sh.end(j) {
+			return j % sh.S
+		}
+	}
+	return sh.S - 1
+}
+
+func (sh *shape) isMoE(l layerInfo) bool { return l.Experts > 0 && sh.ep > 1 }
+
+// actMB is a layer's output activation per microbatch.
+func (sh *shape) actMB(l layerInfo) int64 { return l.ActBytes * int64(sh.mbSize) }
+
+// capBytes is an expert layer's all-to-all payload per microbatch:
+// the activation scaled by the capacity factor, floored.
+func (sh *shape) capBytes(l layerInfo) int64 {
+	return int64(math.Floor(sh.cf * float64(sh.actMB(l))))
+}
+
+// ptp is a layer's per-rank parameter slice under tensor and expert
+// parallelism: the local expert count times the per-expert parameters,
+// ceil-divided across the tp group.
+func (sh *shape) ptp(l layerInfo) int64 {
+	base := l.ParamBytes
+	if l.Experts > 0 {
+		base *= int64(l.Experts / sh.ep)
+	}
+	return shard(base, sh.tp)
+}
+
+// lastFwdNode is the ID of the final node of forward job (virtual stage
+// j, microbatch m): the tp all-reduce when tensor-parallel, else the
+// MoE combine, else the compute node of the chunk's last layer.
+func (sh *shape) lastFwdNode(t, j, m int) string {
+	l := sh.layers[sh.end(j)-1]
+	id := fmt.Sprintf("t%d/f/m%d/%s", t, m, l.Name)
+	switch {
+	case sh.tp > 1 && l.ActBytes > 0:
+		return id + "/tp"
+	case sh.isMoE(l):
+		return id + "/comb"
+	}
+	return id
+}
+
+// lastBwdNode mirrors lastFwdNode for backward job (j, m), whose final
+// layer is the chunk's first.
+func (sh *shape) lastBwdNode(t, j, m int) string {
+	l := sh.layers[sh.start(j)]
+	id := fmt.Sprintf("t%d/b/m%d/%s", t, m, l.Name)
+	switch {
+	case sh.tp > 1 && l.ActBytes > 0:
+		return id + "/tp"
+	case sh.isMoE(l):
+		return id + "/disp"
+	}
+	return id
+}
+
+// fwdCycles resolves a layer's forward compute per microbatch per rank:
+// flops divide across the tp group (and, for expert layers, scale by
+// capacity over the ep group), then convert at two flops per MAC on the
+// model's array, plus the per-layer overhead.
+func (sh *shape) fwdCycles(m compute.Model, l layerInfo) uint64 {
+	return flopCycles(m, sh.rankFlops(l, l.FwdFlops))
+}
+
+// bwdCycles merges the input- and weight-gradient passes (as the 1F1B
+// generators do).
+func (sh *shape) bwdCycles(m compute.Model, l layerInfo) uint64 {
+	return flopCycles(m, sh.rankFlops(l, l.IGFlops+l.WGFlops))
+}
+
+func (sh *shape) rankFlops(l layerInfo, perSample int64) float64 {
+	f := float64(perSample) * float64(sh.mbSize) / float64(sh.tp)
+	if l.Experts > 0 {
+		f = f * sh.cf / float64(sh.ep)
+	}
+	return f
+}
+
+func flopCycles(m compute.Model, flops float64) uint64 {
+	c := m.LayerOverhead
+	if flops <= 0 {
+		return c
+	}
+	rate := 2 * float64(m.ArrayRows) * float64(m.ArrayCols)
+	if m.Scale > 0 {
+		rate *= m.Scale
+	}
+	return c + uint64(math.Ceil(flops/rate))
+}
+
+// shard is the per-rank slice of bytes split n ways (ceil: real
+// implementations pad the tensor to divisibility).
+func shard(bytes int64, n int) int64 {
+	if n <= 1 {
+		return bytes
+	}
+	return (bytes + int64(n) - 1) / int64(n)
+}
+
+// padded is the padded full tensor a sharded collective moves.
+func padded(bytes int64, n int) int64 {
+	return shard(bytes, n) * int64(n)
+}

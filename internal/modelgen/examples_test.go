@@ -1,0 +1,52 @@
+package modelgen
+
+import (
+	"path/filepath"
+	"testing"
+
+	"astrasim/internal/config"
+)
+
+// TestCommittedExamples compiles every committed (spec, plan) pair
+// under workloads/models/ and replays each, audit-attached, on both
+// the packet and fast network backends — the acceptance bar for the
+// shipped examples.
+func TestCommittedExamples(t *testing.T) {
+	dir := filepath.Join("..", "..", "workloads", "models")
+	pairs := []struct{ spec, plan string }{
+		{"tinylm.model.json", "dp8_zero1.plan.json"},
+		{"tinylm.model.json", "zero3_tp2_pp2.plan.json"},
+		{"moe-lm.model.json", "dp8_zero1.plan.json"},
+		{"moe-lm.model.json", "zero3_tp2_pp2.plan.json"},
+		{"moe-lm.model.json", "moe_ep4.plan.json"},
+	}
+	for _, pair := range pairs {
+		spec, err := LoadSpec(filepath.Join(dir, pair.spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := LoadPlan(filepath.Join(dir, pair.plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Compile(spec, plan, Options{})
+		if err != nil {
+			t.Fatalf("%s x %s: %v", pair.spec, pair.plan, err)
+		}
+		want, err := PlanVolumes(spec, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := graphVolumes(t, g, 1)
+		got.PerRankShardBytes = want.PerRankShardBytes
+		if got != want {
+			t.Errorf("%s x %s: graph volumes diverge from oracle\ngot  %+v\nwant %+v",
+				pair.spec, pair.plan, got, want)
+		}
+		for _, backend := range []config.Backend{config.PacketBackend, config.FastBackend} {
+			if res := replay(t, g, backend); res.TotalCycles == 0 {
+				t.Errorf("%s x %s on %v: zero-cycle replay", pair.spec, pair.plan, backend)
+			}
+		}
+	}
+}

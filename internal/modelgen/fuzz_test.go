@@ -1,0 +1,111 @@
+package modelgen_test
+
+// Fuzz coverage for the model-spec and plan formats: any byte stream
+// either fails loudly with a field-naming error or yields a value that
+// passes its own validator; small valid (spec, plan) pairs must then
+// compile into a graph whose validator accepts it and whose COMM
+// volume matches the closed-form oracle exactly. Seed corpora live
+// under testdata/fuzz.
+
+import (
+	"bytes"
+	"testing"
+
+	"astrasim/internal/modelgen"
+)
+
+func FuzzParseModelSpec(f *testing.F) {
+	f.Add([]byte(`{"version": 1, "name": "tiny", "batch": 4,
+		"transformer": {"layers": 2, "hidden": 16, "heads": 2, "seq": 8, "vocab": 32}}`))
+	f.Add([]byte(`{"version": 1, "name": "moe", "batch": 8, "dtype_bytes": 4,
+		"transformer": {"layers": 4, "hidden": 8, "heads": 2, "seq": 4, "ffn_mult": 2,
+		"moe": {"experts": 4, "every": 2}}}`))
+	f.Add([]byte(`{"version": 1, "name": "stack", "batch": 2, "layers": [
+		{"name": "a", "param_bytes": 1024, "act_bytes": 64, "fwd_flops": 4096},
+		{"name": "b", "param_bytes": 2048, "act_bytes": 64, "experts": 2}]}`))
+	f.Add([]byte(`{"version": 2, "name": "bad", "batch": 1}`))
+	f.Add([]byte(`{"version": 1, "name": "both", "batch": 1,
+		"transformer": {"layers": 1, "hidden": 4, "heads": 1, "seq": 2},
+		"layers": [{"name": "x", "param_bytes": 1, "act_bytes": 1}]}`))
+	f.Add([]byte(`{"bogus": 1}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := modelgen.ParseSpec("fuzz", bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseSpec accepted a spec its own validator rejects: %v", err)
+		}
+		if spec.Batch > 64 {
+			return // keep compile work bounded
+		}
+		if tr := spec.Transformer; tr != nil && (tr.Layers > 16 || tr.Hidden > 1024 || tr.Seq > 1024 || tr.Vocab > 1<<16) {
+			return
+		}
+		if len(spec.Layers) > 16 {
+			return
+		}
+		plan := &modelgen.Plan{Version: 1, Name: "fuzz-dp2", DP: 2}
+		g, err := modelgen.Compile(spec, plan, modelgen.Options{})
+		if err != nil {
+			return // spec/plan incompatibilities are legitimate errors
+		}
+		want, err := modelgen.PlanVolumes(spec, plan)
+		if err != nil {
+			t.Fatalf("compiled pair has no oracle: %v", err)
+		}
+		var got int64
+		for _, n := range g.Nodes {
+			if n.Tag == "zero" {
+				got += n.Bytes
+			}
+		}
+		if got != want.ZeroAllGather.Bytes+want.ZeroReduce.Bytes {
+			t.Fatalf("graph ZeRO bytes %d diverge from oracle %d", got,
+				want.ZeroAllGather.Bytes+want.ZeroReduce.Bytes)
+		}
+	})
+}
+
+func FuzzParsePlan(f *testing.F) {
+	f.Add([]byte(`{"version": 1, "name": "dp8", "dp": 8, "zero_stage": 3}`))
+	f.Add([]byte(`{"version": 1, "name": "hybrid", "dp": 2, "tp": 2, "pp": 2,
+		"microbatches": 4, "interleave": 2, "zero_stage": 1,
+		"tp_scope": "local", "dp_scope": "vertical+horizontal",
+		"optimizer_placement": "remote", "update_per_kb": 2}`))
+	f.Add([]byte(`{"version": 1, "name": "moe", "ep": 4, "capacity_factor": 1.25,
+		"expert_permutation": [1, 2, 3, 0]}`))
+	f.Add([]byte(`{"version": 1, "name": "bad", "zero_stage": 5}`))
+	f.Add([]byte(`{"version": 1, "name": "bad", "interleave": 2}`))
+	f.Add([]byte(`{"version": 1, "name": "bad", "expert_permutation": [0, 0]}`))
+	f.Add([]byte(`{"bogus": 1}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plan, err := modelgen.ParsePlan("fuzz", bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("ParsePlan accepted a plan its own validator rejects: %v", err)
+		}
+		if plan.DP > 64 || plan.TP > 64 || plan.PP > 64 || plan.EP > 64 ||
+			plan.Microbatches > 64 || plan.Interleave > 8 || len(plan.ExpertPermutation) > 64 {
+			return // keep compile work bounded
+		}
+		spec := &modelgen.Spec{
+			Version: 1, Name: "fuzz-model", Batch: 16,
+			Transformer: &modelgen.TransformerSpec{
+				Layers: 4, Hidden: 16, Heads: 2, Seq: 8,
+				MoE: &modelgen.MoESpec{Experts: 8},
+			},
+		}
+		g, err := modelgen.Compile(spec, plan, modelgen.Options{})
+		if err != nil {
+			return // degree/shape incompatibilities are legitimate errors
+		}
+		if len(g.Nodes) == 0 {
+			t.Fatal("compiled graph is empty")
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package modelgen
+
+// CollVolume is one collective family's per-step totals: how many
+// collectives are issued and the bytes they move in total.
+type CollVolume struct {
+	Count int64
+	Bytes int64
+}
+
+func (c *CollVolume) add(count, bytes int64) {
+	c.Count += count
+	c.Bytes += bytes * count
+}
+
+// Volumes is the closed-form per-training-step communication volume a
+// (spec, plan) pair generates — derivable on paper from the tables in
+// DESIGN.md §15, and asserted exactly (zero tolerance) against the
+// COMM/SEND nodes Compile emits.
+//
+// Notation: P' = ceil(P_layer·E_local / tp) is a layer's per-rank
+// parameter slice (E_local = experts/ep for expert layers, 1 for
+// dense), pad(x, n) = ceil(x/n)·n, A = act_bytes·microbatch_size, M =
+// microbatches, and cap(A) = floor(capacity_factor·A).
+//
+//	ZeRO 0:   1 all-reduce of P' per layer
+//	ZeRO 1/2: 1 reduce-scatter + 1 all-gather of pad(P', dp) per layer
+//	ZeRO 3:   2 all-gathers (fwd+bwd entry) + 1 reduce-scatter of
+//	          pad(P', dp) per layer
+//	TP:       2·M all-reduces of A per layer (fwd + bwd)
+//	EP:       4·M all-to-alls of cap(A) per expert layer
+//	          (dispatch + combine, fwd + bwd)
+//	PP:       2·M point-to-point messages of A_boundary per virtual
+//	          boundary (activations fwd, gradients bwd)
+type Volumes struct {
+	// ZeroAllGather covers parameter all-gathers (ZeRO >= 1);
+	// ZeroReduce covers gradient all-reduces (stage 0) and
+	// reduce-scatters (stages 1-3).
+	ZeroAllGather CollVolume
+	ZeroReduce    CollVolume
+	TPAllReduce   CollVolume
+	EPAllToAll    CollVolume
+	// P2P counts one-way pipeline SEND messages.
+	P2P CollVolume
+	// PerRankShardBytes is each rank's optimizer/parameter shard,
+	// ceil(P'/dp) summed over layers, when ZeRO >= 1 (0 otherwise):
+	// dp-degree scaling must shrink it proportionally (metamorphic
+	// rule zero-shard-scaling).
+	PerRankShardBytes int64
+}
+
+// PlanVolumes evaluates the closed-form oracle for a (spec, plan) pair.
+func PlanVolumes(spec *Spec, plan *Plan) (Volumes, error) {
+	sh, err := newShape(spec, plan)
+	if err != nil {
+		return Volumes{}, err
+	}
+	var v Volumes
+	M := int64(sh.M)
+	for _, l := range sh.layers {
+		if sh.dp > 1 && l.ParamBytes > 0 {
+			ptp := sh.ptp(l)
+			switch sh.zero {
+			case 0:
+				v.ZeroReduce.add(1, ptp)
+			case 1, 2:
+				v.ZeroReduce.add(1, padded(ptp, sh.dp))
+				v.ZeroAllGather.add(1, padded(ptp, sh.dp))
+			case 3:
+				v.ZeroReduce.add(1, padded(ptp, sh.dp))
+				v.ZeroAllGather.add(2, padded(ptp, sh.dp))
+			}
+			if sh.zero >= 1 {
+				v.PerRankShardBytes += shard(ptp, sh.dp)
+			}
+		}
+		if sh.tp > 1 && l.ActBytes > 0 {
+			v.TPAllReduce.add(2*M, sh.actMB(l))
+		}
+		if sh.isMoE(l) {
+			v.EPAllToAll.add(4*M, sh.capBytes(l))
+		}
+	}
+	for j := 0; j < sh.V-1; j++ {
+		v.P2P.add(2*M, sh.actMB(sh.layers[sh.end(j)-1]))
+	}
+	return v, nil
+}

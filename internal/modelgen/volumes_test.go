@@ -1,0 +1,171 @@
+package modelgen
+
+import (
+	"testing"
+
+	"astrasim/internal/collectives"
+	"astrasim/internal/graph"
+)
+
+// graphVolumes folds a compiled graph's COMM/SEND nodes into the
+// Volumes shape by tag, dividing by the unrolled step count.
+func graphVolumes(t *testing.T, g *graph.Graph, steps int64) Volumes {
+	t.Helper()
+	var v Volumes
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case graph.KindSend:
+			v.P2P.Count++
+			v.P2P.Bytes += n.Bytes
+		case graph.KindComm:
+			op, err := collectives.ParseOp(n.Op)
+			if err != nil {
+				t.Fatalf("node %s: %v", n.ID, err)
+			}
+			switch n.Tag {
+			case "zero":
+				if op == collectives.AllGather {
+					v.ZeroAllGather.Count++
+					v.ZeroAllGather.Bytes += n.Bytes
+				} else {
+					v.ZeroReduce.Count++
+					v.ZeroReduce.Bytes += n.Bytes
+				}
+			case "tp":
+				if op != collectives.AllReduce {
+					t.Fatalf("node %s: tp collective is %v, want ALLREDUCE", n.ID, op)
+				}
+				v.TPAllReduce.Count++
+				v.TPAllReduce.Bytes += n.Bytes
+			case "ep":
+				if op != collectives.AllToAll {
+					t.Fatalf("node %s: ep collective is %v, want ALLTOALL", n.ID, op)
+				}
+				v.EPAllToAll.Count++
+				v.EPAllToAll.Bytes += n.Bytes
+			default:
+				t.Fatalf("node %s: COMM with unknown tag %q", n.ID, n.Tag)
+			}
+		}
+	}
+	for _, c := range []*CollVolume{
+		&v.ZeroAllGather, &v.ZeroReduce, &v.TPAllReduce, &v.EPAllToAll, &v.P2P,
+	} {
+		if c.Count%steps != 0 || c.Bytes%steps != 0 {
+			t.Fatalf("per-step volume not divisible by %d steps: %+v", steps, *c)
+		}
+		c.Count /= steps
+		c.Bytes /= steps
+	}
+	return v
+}
+
+func denseSpec() *Spec {
+	return &Spec{
+		Version: 1, Name: "dense8", Batch: 8,
+		Transformer: &TransformerSpec{Layers: 8, Hidden: 128, Heads: 4, Seq: 32, Vocab: 512},
+	}
+}
+
+func moeSpec() *Spec {
+	return &Spec{
+		Version: 1, Name: "moe4", Batch: 8,
+		Transformer: &TransformerSpec{
+			Layers: 4, Hidden: 64, Heads: 2, Seq: 16,
+			MoE: &MoESpec{Experts: 8, Every: 2},
+		},
+	}
+}
+
+func explicitSpec() *Spec {
+	return &Spec{
+		Version: 1, Name: "explicit3", Batch: 4,
+		Layers: []LayerSpec{
+			{Name: "in", ParamBytes: 1 << 20, ActBytes: 4096, FwdFlops: 1 << 22, IGFlops: 1 << 22, WGFlops: 1 << 22},
+			{Name: "experts", ParamBytes: 1 << 18, ActBytes: 4096, FwdFlops: 1 << 20, IGFlops: 1 << 20, WGFlops: 1 << 20, Experts: 4},
+			{Name: "out", ParamBytes: 100003, ActBytes: 1000, FwdFlops: 1 << 20},
+		},
+	}
+}
+
+// TestVolumesMatchGraphExactly is the acceptance-criterion table: for
+// every (spec, plan) config the compiled graph's per-step communication
+// volume must equal the closed-form oracle with zero tolerance, and a
+// two-step unroll must emit exactly twice the one-step volume.
+func TestVolumesMatchGraphExactly(t *testing.T) {
+	cases := []struct {
+		spec *Spec
+		plan *Plan
+	}{
+		{denseSpec(), &Plan{Version: 1, Name: "dp2", DP: 2}},
+		{denseSpec(), &Plan{Version: 1, Name: "dp4-zero1", DP: 4, ZeROStage: 1, Microbatches: 2}},
+		{denseSpec(), &Plan{Version: 1, Name: "dp4-zero2", DP: 4, ZeROStage: 2, UpdatePerKB: 3}},
+		{denseSpec(), &Plan{Version: 1, Name: "dp8-zero3-tp2", DP: 8, ZeROStage: 3, TP: 2}},
+		{denseSpec(), &Plan{Version: 1, Name: "tp4-pp2", TP: 4, PP: 2, Microbatches: 4}},
+		{denseSpec(), &Plan{Version: 1, Name: "dp2-tp2-pp2-v2-zero3", DP: 2, TP: 2, PP: 2,
+			Interleave: 2, Microbatches: 4, ZeROStage: 3, OptimizerPlacement: "remote"}},
+		{denseSpec(), &Plan{Version: 1, Name: "pp4-v2", PP: 4, Microbatches: 8, Interleave: 2}},
+		{moeSpec(), &Plan{Version: 1, Name: "ep4", EP: 4, Microbatches: 2, CapacityFactor: 1.25}},
+		{moeSpec(), &Plan{Version: 1, Name: "dp2-tp2-ep2-zero1", DP: 2, TP: 2, EP: 2,
+			ZeROStage: 1, CapacityFactor: 0.5}},
+		{moeSpec(), &Plan{Version: 1, Name: "dp2-ep8-pp2", DP: 2, EP: 8, PP: 2, Microbatches: 4}},
+		{explicitSpec(), &Plan{Version: 1, Name: "x-dp4-zero3-tp2-ep2", DP: 4, ZeROStage: 3, TP: 2,
+			EP: 2, Microbatches: 2}},
+		{explicitSpec(), &Plan{Version: 1, Name: "x-pp3", PP: 3, Microbatches: 4}},
+	}
+	for _, tc := range cases {
+		want, err := PlanVolumes(tc.spec, tc.plan)
+		if err != nil {
+			t.Fatalf("%s x %s: %v", tc.spec.Name, tc.plan.Name, err)
+		}
+		for _, steps := range []int{1, 2} {
+			g, err := Compile(tc.spec, tc.plan, Options{Steps: steps})
+			if err != nil {
+				t.Fatalf("%s x %s steps=%d: %v", tc.spec.Name, tc.plan.Name, steps, err)
+			}
+			got := graphVolumes(t, g, int64(steps))
+			got.PerRankShardBytes = want.PerRankShardBytes // not graph-derivable
+			if got != want {
+				t.Errorf("%s x %s steps=%d: graph volumes diverge from oracle\ngot  %+v\nwant %+v",
+					tc.spec.Name, tc.plan.Name, steps, got, want)
+			}
+		}
+	}
+}
+
+// TestVolumeAlgebraClosedForm pins a hand-derived case: dense8 has 8
+// blocks (16 layers of h=128) plus an embedding; under dp4/zero1/tp2
+// each dense block layer's slice and padding are computable on paper.
+func TestVolumeAlgebraClosedForm(t *testing.T) {
+	spec := denseSpec() // h=128, seq=32, vocab=512, dtype 2, batch 8
+	plan := &Plan{Version: 1, Name: "paper", DP: 4, ZeROStage: 1, TP: 2, Microbatches: 2}
+	v, err := PlanVolumes(spec, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := int64(128)
+	// Per-layer parameter bytes: embed 512·h·2, attn 4·h²·2, mlp 8·h²·2.
+	embed, attn, mlp := 512*h*2, 4*h*h*2, 8*h*h*2
+	// tp slices halve exactly; all are divisible by dp=4, so pad = slice.
+	perLayer := func(p int64) int64 { return p / 2 }
+	wantRS := perLayer(embed) + 8*(perLayer(attn)+perLayer(mlp))
+	if v.ZeroReduce.Bytes != wantRS || v.ZeroReduce.Count != 17 {
+		t.Errorf("ZeroReduce = %+v, want {17 %d}", v.ZeroReduce, wantRS)
+	}
+	if v.ZeroAllGather != v.ZeroReduce {
+		t.Errorf("stage 1: all-gather %+v must mirror reduce-scatter %+v", v.ZeroAllGather, v.ZeroReduce)
+	}
+	// Activations: A = seq·h·dtype·mbSize = 32·128·2·4; 17 layers, 2
+	// microbatches, fwd+bwd.
+	actMB := int64(32) * h * 2 * 4
+	if want := (CollVolume{Count: 17 * 2 * 2, Bytes: 17 * 2 * 2 * actMB}); v.TPAllReduce != want {
+		t.Errorf("TPAllReduce = %+v, want %+v", v.TPAllReduce, want)
+	}
+	// Shard per rank: slice/dp, summed.
+	if want := wantRS / 4; v.PerRankShardBytes != want {
+		t.Errorf("PerRankShardBytes = %d, want %d", v.PerRankShardBytes, want)
+	}
+	if v.EPAllToAll.Count != 0 || v.P2P.Count != 0 {
+		t.Errorf("dense non-pipelined plan moved EP/P2P bytes: %+v %+v", v.EPAllToAll, v.P2P)
+	}
+}

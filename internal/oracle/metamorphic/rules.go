@@ -8,6 +8,7 @@ import (
 	"astrasim/internal/collectives"
 	"astrasim/internal/config"
 	"astrasim/internal/faults"
+	"astrasim/internal/modelgen"
 	"astrasim/internal/oracle"
 	"astrasim/internal/system"
 	"astrasim/internal/topology"
@@ -53,6 +54,16 @@ func Rules() []Rule {
 			Name:  "hier-dim-permutation",
 			Doc:   "permuting two same-kind, same-class dimensions of a hierarchical composition shifts the completion time only by per-step quantization (5% band)",
 			Check: checkHierDimPermutation,
+		},
+		{
+			Name:  "zero-shard-scaling",
+			Doc:   "doubling the dp degree exactly halves each rank's ZeRO optimizer shard (divisible sizes), and generated graphs match the closed-form volume oracle at both degrees",
+			Check: checkZeroShardScaling,
+		},
+		{
+			Name:  "ep-permutation-invariance",
+			Doc:   "permuting expert placement leaves the expert-parallel all-to-all volume bit-identical (routing is a bijection; capacity does not depend on expert identity)",
+			Check: checkEPPermutationInvariance,
 		},
 		{
 			Name:  "class-bandwidth-monotone",
@@ -413,6 +424,118 @@ func checkOracleExact(c Case) error {
 	}
 	if pred.Cycles != sim.Duration {
 		return fmt.Errorf("oracle predicted %d cycles, simulator ran %d", pred.Cycles, sim.Duration)
+	}
+	return nil
+}
+
+// modelZeroVolumes compiles a (spec, plan) pair for one step and folds
+// the generated graph's ZeRO-tagged COMM traffic into (count, bytes).
+func modelZeroBytes(spec *modelgen.Spec, plan *modelgen.Plan) (int64, error) {
+	g, err := modelgen.Compile(spec, plan, modelgen.Options{Steps: 1})
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Kind == "COMM" && n.Tag == "zero" {
+			total += n.Bytes
+		}
+	}
+	return total, nil
+}
+
+// checkZeroShardScaling derives a small explicit-layer model from the
+// case and compares a dp=d plan against dp=2d at the same ZeRO stage.
+// With layer sizes divisible by both degrees the per-rank optimizer
+// shard must halve *exactly*, and at both degrees the compiled graph's
+// ZeRO traffic must equal the closed-form volume oracle bit-for-bit.
+func checkZeroShardScaling(c Case) error {
+	pb := (c.Bytes%7 + 1) * 1024 // divisible by every dp degree below
+	stage := 1 + int(c.Bytes%3)  // ZeRO 1..3 (stage 0 keeps no shard)
+	d := 2 << uint(c.Splits%2)   // dp 2 or 4, doubled to 4 or 8
+	spec := &modelgen.Spec{
+		Version: 1, Name: "meta-zero", Batch: 16, DTypeBytes: 2,
+		Layers: []modelgen.LayerSpec{
+			{Name: "l0", ParamBytes: pb, ActBytes: 4096, FwdFlops: 1 << 20, IGFlops: 1 << 20, WGFlops: 1 << 20},
+			{Name: "l1", ParamBytes: 2 * pb, ActBytes: 4096, FwdFlops: 1 << 20, IGFlops: 1 << 20, WGFlops: 1 << 20},
+		},
+	}
+	base := &modelgen.Plan{Version: 1, Name: "meta-zero-d", DP: d, ZeROStage: stage, Microbatches: 2}
+	doubled := &modelgen.Plan{Version: 1, Name: "meta-zero-2d", DP: 2 * d, ZeROStage: stage, Microbatches: 2}
+	va, err := modelgen.PlanVolumes(spec, base)
+	if err != nil {
+		return err
+	}
+	vb, err := modelgen.PlanVolumes(spec, doubled)
+	if err != nil {
+		return err
+	}
+	if 2*vb.PerRankShardBytes != va.PerRankShardBytes {
+		return fmt.Errorf("dp %d -> %d: per-rank shard %d -> %d bytes, want exact halving",
+			d, 2*d, va.PerRankShardBytes, vb.PerRankShardBytes)
+	}
+	for _, pv := range []struct {
+		plan *modelgen.Plan
+		want modelgen.Volumes
+	}{{base, va}, {doubled, vb}} {
+		got, err := modelZeroBytes(spec, pv.plan)
+		if err != nil {
+			return err
+		}
+		want := pv.want.ZeroAllGather.Bytes + pv.want.ZeroReduce.Bytes
+		if got != want {
+			return fmt.Errorf("plan %s: graph carries %d ZeRO bytes, oracle says %d",
+				pv.plan.Name, got, want)
+		}
+	}
+	return nil
+}
+
+// checkEPPermutationInvariance compiles the same MoE model under the
+// identity expert placement and under a rotated permutation: the
+// expert-parallel all-to-all volume (dispatch + combine, fwd + bwd)
+// must be bit-identical — token routing is a bijection, so where an
+// expert physically lives cannot change how many bytes move.
+func checkEPPermutationInvariance(c Case) error {
+	const experts = 8
+	ep := 2 << uint(c.Splits%2) // 2 or 4, both divide 8
+	cf := []float64{1, 1.25, 0.5}[c.Bytes%3]
+	spec := &modelgen.Spec{
+		Version: 1, Name: "meta-ep", Batch: 8, DTypeBytes: 2,
+		Layers: []modelgen.LayerSpec{
+			{Name: "dense", ParamBytes: 4096, ActBytes: 2048, FwdFlops: 1 << 20, IGFlops: 1 << 20, WGFlops: 1 << 20},
+			{Name: "moe", ParamBytes: 8192, ActBytes: 2048, FwdFlops: 1 << 20, IGFlops: 1 << 20, WGFlops: 1 << 20, Experts: experts},
+		},
+	}
+	perm := make([]int, experts)
+	rot := 1 + int(c.Bytes%int64(experts-1))
+	for i := range perm {
+		perm[i] = (i + rot) % experts
+	}
+	identity := &modelgen.Plan{Version: 1, Name: "meta-ep-id", EP: ep, Microbatches: 2, CapacityFactor: cf}
+	permuted := &modelgen.Plan{Version: 1, Name: "meta-ep-perm", EP: ep, Microbatches: 2, CapacityFactor: cf,
+		ExpertPermutation: perm}
+	var vols [2]struct{ count, bytes int64 }
+	for i, plan := range []*modelgen.Plan{identity, permuted} {
+		g, err := modelgen.Compile(spec, plan, modelgen.Options{Steps: 1})
+		if err != nil {
+			return err
+		}
+		for j := range g.Nodes {
+			n := &g.Nodes[j]
+			if n.Kind == "COMM" && n.Tag == "ep" {
+				vols[i].count++
+				vols[i].bytes += n.Bytes
+			}
+		}
+	}
+	if vols[0] != vols[1] {
+		return fmt.Errorf("expert rotation by %d changed the all-to-all volume: %d ops/%d bytes vs %d ops/%d bytes",
+			rot, vols[0].count, vols[0].bytes, vols[1].count, vols[1].bytes)
+	}
+	if vols[0].count == 0 {
+		return fmt.Errorf("MoE model under ep=%d emitted no expert all-to-alls", ep)
 	}
 	return nil
 }

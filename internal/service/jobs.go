@@ -100,7 +100,8 @@ type collectiveResult struct {
 	RetransmittedBytes int64  `json:"retransmitted_bytes"`
 }
 
-// trainResult is the serialized payload of a "train" or "graph" job.
+// trainResult is the serialized payload of a "train", "graph", or
+// "model" job.
 type trainResult struct {
 	Kind              string  `json:"kind"`
 	Topology          string  `json:"topology"`
@@ -140,7 +141,7 @@ func execute(c *compiled) ([]byte, error) {
 			return nil, err
 		}
 		return marshalTraining(c, res)
-	case "graph":
+	case "graph", "model":
 		res, err := c.platform.RunGraph(c.graph)
 		if err != nil {
 			return nil, err

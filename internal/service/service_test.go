@@ -443,6 +443,62 @@ func TestWorkloadAndGraphJobs(t *testing.T) {
 	}
 }
 
+// TestModelJobs submits an inline model spec + parallelism plan: the
+// server compiles the pair through internal/modelgen and runs the
+// resulting graph like a graph submission.
+func TestModelJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	model := `{"version": 1, "name": "svc-lm", "batch": 4, "transformer":
+		{"layers": 2, "hidden": 32, "heads": 4, "seq": 16, "vocab": 64}}`
+	plan := `{"version": 1, "name": "svc-dp2", "dp": 2, "zero_stage": 1, "microbatches": 2}`
+	body := `{"topology": "1x4x1", "backend": "fast", "model": ` + model + `, "plan": ` + plan + `, "model_steps": 2}`
+	resp, respBody := submit(t, ts, body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model job: %d %s", resp.StatusCode, respBody)
+	}
+	var env jobEnvelope
+	if err := json.Unmarshal(respBody, &env); err != nil {
+		t.Fatal(err)
+	}
+	var tr trainResult
+	if err := json.Unmarshal(env.Result, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Kind != "model" || tr.TotalCycles == 0 {
+		t.Errorf("model result %+v", tr)
+	}
+
+	// Rejections: half a pair, invalid spec/plan fields (the 400 names
+	// the offending field), a pipeline too deep for the topology, and
+	// kind exclusivity with graph.
+	cases := []struct {
+		name, body, want string
+	}{
+		{"model without plan", `{"topology": "1x4x1", "model": ` + model + `}`, "plan"},
+		{"plan without model", `{"topology": "1x4x1", "plan": ` + plan + `}`, "model"},
+		{"invalid spec field", `{"topology": "1x4x1", "plan": ` + plan + `, "model":
+			{"version": 1, "name": "bad", "batch": 4, "transformer":
+			{"layers": 2, "hidden": 0, "heads": 4, "seq": 16, "vocab": 64}}}`, "transformer.hidden"},
+		{"invalid plan field", `{"topology": "1x4x1", "model": ` + model + `, "plan":
+			{"version": 1, "name": "bad", "dp": 2, "zero_stage": 7}}`, "zero_stage"},
+		{"pipeline deeper than topology", `{"topology": "1x1x1", "model": ` + model + `, "plan":
+			{"version": 1, "name": "pp2", "pp": 2, "microbatches": 2}}`, "out of range"},
+		{"model plus graph", `{"topology": "1x4x1", "model": ` + model + `, "plan": ` + plan + `,
+			"graph": {"version": 1, "nodes": [{"id": "c", "kind": "COMM", "op": "ALLREDUCE", "bytes": 65536}]}}`, "exactly one"},
+	}
+	for _, tc := range cases {
+		resp, b := submit(t, ts, tc.body, nil)
+		if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+			t.Errorf("%s: status %d (%s), want 4xx", tc.name, resp.StatusCode, b)
+			continue
+		}
+		if !strings.Contains(string(b), tc.want) {
+			t.Errorf("%s: error %q does not name %q", tc.name, b, tc.want)
+		}
+	}
+}
+
 // TestPriorityOrdering keeps one worker busy, queues a low- and a
 // high-priority job, and asserts the high one executes first
 // (observed server-side via the test hook).

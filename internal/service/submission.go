@@ -19,6 +19,7 @@ import (
 	"astrasim"
 	"astrasim/internal/collectives"
 	"astrasim/internal/config"
+	"astrasim/internal/modelgen"
 )
 
 // CollectiveSpec asks for one collective operation, the bandwidth-test
@@ -45,7 +46,7 @@ type WorkloadSpec struct {
 }
 
 // Submission is the POST /v1/jobs request body. Exactly one of
-// Collective, Workload, Graph selects the job kind. Priority orders the
+// Collective, Workload, Graph, Model+Plan selects the job kind. Priority orders the
 // queue (higher first) and is excluded from the content hash — the same
 // simulation at a different priority is the same result.
 type Submission struct {
@@ -82,6 +83,16 @@ type Submission struct {
 	// schema).
 	Graph json.RawMessage `json:"graph,omitempty"`
 
+	// Model and Plan together select the fourth job kind: an inline
+	// model spec (internal/modelgen schema, version 1) compiled under an
+	// inline parallelism plan into an execution graph on the server.
+	// Both are required together; the compiled job runs like a graph
+	// submission. ModelSteps is the number of training steps to unroll
+	// (default 1).
+	Model      json.RawMessage `json:"model,omitempty"`
+	Plan       json.RawMessage `json:"plan,omitempty"`
+	ModelSteps int             `json:"model_steps,omitempty"`
+
 	// Faults is an inline JSON fault plan (DESIGN.md §8). Requires the
 	// packet backend. Unlike the lenient library selectors, the service
 	// rejects straggler nodes outside the topology.
@@ -114,7 +125,7 @@ func badf(format string, args ...any) error {
 // job kind resolved. id is the content address.
 type compiled struct {
 	id       string
-	kind     string // "collective" | "train" | "graph"
+	kind     string // "collective" | "train" | "graph" | "model"
 	priority int
 
 	platform *astrasim.Platform
@@ -205,8 +216,12 @@ func compile(sub *Submission) (*compiled, error) {
 	if len(sub.Graph) > 0 {
 		kinds++
 	}
+	if len(sub.Model) > 0 || len(sub.Plan) > 0 {
+		// model+plan is one kind: the pair compiles into a graph.
+		kinds++
+	}
 	if kinds != 1 {
-		return nil, badf("exactly one of collective, workload, graph is required")
+		return nil, badf("exactly one of collective, workload, graph, model+plan is required")
 	}
 
 	switch {
@@ -226,28 +241,42 @@ func compile(sub *Submission) (*compiled, error) {
 			return nil, err
 		}
 
+	case len(sub.Model) > 0 || len(sub.Plan) > 0:
+		c.kind = "model"
+		if len(sub.Model) == 0 {
+			return nil, badf("plan requires a model")
+		}
+		if len(sub.Plan) == 0 {
+			return nil, badf("model requires a plan")
+		}
+		if sub.ModelSteps < 0 {
+			return nil, badf("model_steps must be >= 0, got %d", sub.ModelSteps)
+		}
+		spec, err := modelgen.ParseSpec("submission model", bytes.NewReader(sub.Model))
+		if err != nil {
+			return nil, &badRequest{msg: err.Error()}
+		}
+		plan, err := modelgen.ParsePlan("submission plan", bytes.NewReader(sub.Plan))
+		if err != nil {
+			return nil, &badRequest{msg: err.Error()}
+		}
+		g, err := modelgen.Compile(spec, plan, modelgen.Options{Steps: sub.ModelSteps})
+		if err != nil {
+			return nil, &badRequest{msg: err.Error()}
+		}
+		if err := checkGraphEndpoints(g, p.NumNPUs(), sub.IntraParallel); err != nil {
+			return nil, err
+		}
+		c.graph = g
+
 	default:
 		c.kind = "graph"
 		g, err := astrasim.ParseGraph("submission", bytes.NewReader(sub.Graph))
 		if err != nil {
 			return nil, &badRequest{msg: err.Error()}
 		}
-		// The graph engine checks endpoint ranges when the run starts;
-		// re-check here so a bad graph is a 400, not a failed job.
-		npus := p.NumNPUs()
-		for i := range g.Nodes {
-			n := &g.Nodes[i]
-			if n.Replica < 0 || n.Replica >= npus {
-				return nil, badf("graph node %q: replica %d out of range (%d NPUs)", n.ID, n.Replica, npus)
-			}
-			if n.Kind == "SEND" || n.Kind == "RECV" {
-				if n.Src < 0 || n.Src >= npus || n.Dst < 0 || n.Dst >= npus {
-					return nil, badf("graph node %q: endpoint %d->%d out of range (%d NPUs)", n.ID, n.Src, n.Dst, npus)
-				}
-				if sub.IntraParallel > 0 {
-					return nil, badf("graph node %q: SEND/RECV needs point-to-point sends, which intra_parallel does not support", n.ID)
-				}
-			}
+		if err := checkGraphEndpoints(g, p.NumNPUs(), sub.IntraParallel); err != nil {
+			return nil, err
 		}
 		c.graph = g
 	}
@@ -281,6 +310,28 @@ func compile(sub *Submission) (*compiled, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// checkGraphEndpoints re-checks replica and SEND/RECV endpoint ranges
+// against the submission's topology. The graph engine checks these when
+// the run starts; checking here turns a bad graph (inline or compiled
+// from a model) into a 400 instead of a failed job.
+func checkGraphEndpoints(g *astrasim.WorkloadGraph, npus, intraParallel int) error {
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Replica < 0 || n.Replica >= npus {
+			return badf("graph node %q: replica %d out of range (%d NPUs)", n.ID, n.Replica, npus)
+		}
+		if n.Kind == "SEND" || n.Kind == "RECV" {
+			if n.Src < 0 || n.Src >= npus || n.Dst < 0 || n.Dst >= npus {
+				return badf("graph node %q: endpoint %d->%d out of range (%d NPUs)", n.ID, n.Src, n.Dst, npus)
+			}
+			if intraParallel > 0 {
+				return badf("graph node %q: SEND/RECV needs point-to-point sends, which intra_parallel does not support", n.ID)
+			}
+		}
+	}
+	return nil
 }
 
 // ringDefaults resolves the four multiplicity knobs against Table IV.
@@ -366,6 +417,9 @@ type canonicalSubmission struct {
 	Collective         *CollectiveSpec
 	Workload           *WorkloadSpec
 	Graph              json.RawMessage
+	Model              json.RawMessage
+	Plan               json.RawMessage
+	ModelSteps         int
 	Faults             json.RawMessage
 }
 
@@ -388,9 +442,16 @@ func contentAddress(sub *Submission, backend config.Backend, alg config.Algorith
 		Collective:         sub.Collective,
 		Workload:           sub.Workload,
 	}
+	canon.ModelSteps = sub.ModelSteps
 	var err error
 	if canon.Graph, err = canonicalJSON(sub.Graph); err != nil {
 		return "", badf("graph: %v", err)
+	}
+	if canon.Model, err = canonicalJSON(sub.Model); err != nil {
+		return "", badf("model: %v", err)
+	}
+	if canon.Plan, err = canonicalJSON(sub.Plan); err != nil {
+		return "", badf("plan: %v", err)
 	}
 	if canon.Faults, err = canonicalJSON(sub.Faults); err != nil {
 		return "", badf("faults: %v", err)

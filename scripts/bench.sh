@@ -37,7 +37,7 @@ BENCHTIME="${BENCHTIME:-3x}"
 # The stable core set: one event-queue microbenchmark plus the
 # collective and graph-replay microbenchmarks the perf acceptance
 # criteria track.
-CORE='BenchmarkAllReduce4x4x4_4MB|BenchmarkAllToAll_8Packages_1MB|BenchmarkGraphReplayPipeline'
+CORE='BenchmarkAllReduce4x4x4_4MB|BenchmarkAllToAll_8Packages_1MB|BenchmarkGraphReplayPipeline|BenchmarkModelgenCompile|BenchmarkModelReplay'
 EVQ='BenchmarkScheduleRun'
 # The LARGE set: the fast-vs-packet backend speedup pair at 4096 NPUs,
 # plus the intra-run parallelism pair at 16384 NPUs (serial engine vs
